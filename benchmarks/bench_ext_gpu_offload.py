@@ -1,0 +1,80 @@
+"""Extension — Slalom-style secure GPU offload for inference.
+
+The paper's Section VI discussion: offload expensive enclave operations
+to an (untrusted) GPU without losing confidentiality or integrity.
+Measures simulated inference latency in-enclave vs. GPU-offloaded
+(blinded inputs + Freivalds verification) across model widths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench import format_table
+from repro.core.models import build_mnist_cnn
+from repro.gpu import SimulatedGpu, offload_network
+from repro.simtime.clock import SimClock
+from repro.simtime.profiles import SGX_EMLPM
+
+FILTER_WIDTHS = (16, 64, 128)
+BATCH = 8
+
+
+def _point(filters: int) -> dict:
+    network = build_mnist_cnn(
+        n_conv_layers=4,
+        filters=filters,
+        batch=BATCH,
+        rng=np.random.default_rng(0),
+    )
+    compute = SGX_EMLPM.compute
+    x = np.random.default_rng(1).normal(size=(BATCH, 1, 28, 28)).astype(
+        np.float32
+    )
+
+    enclave_seconds = compute.iteration_time(network.flops(BATCH) / 3)
+
+    clock = SimClock()
+    gpu = SimulatedGpu(clock)
+    offloaded = offload_network(
+        network, gpu, compute, rng=np.random.default_rng(2)
+    )
+    expected = network.predict(x)
+    got = offloaded.predict(x)
+    np.testing.assert_allclose(got, expected, rtol=1e-3, atol=1e-4)
+    return {
+        "filters": filters,
+        "enclave_seconds": enclave_seconds,
+        "gpu_seconds": clock.now(),
+    }
+
+
+def _sweep():
+    return [_point(f) for f in FILTER_WIDTHS]
+
+
+def test_gpu_offload_speedup(benchmark):
+    rows = run_once(benchmark, _sweep)
+
+    print("\nExtension — secure GPU offload (inference, sgx-emlPM)")
+    print(
+        format_table(
+            ["filters", "enclave ms", "gpu-offload ms", "speedup"],
+            [
+                [
+                    r["filters"],
+                    f"{r['enclave_seconds'] * 1e3:.2f}",
+                    f"{r['gpu_seconds'] * 1e3:.2f}",
+                    f"{r['enclave_seconds'] / r['gpu_seconds']:.1f}x",
+                ]
+                for r in rows
+            ],
+        )
+    )
+
+    # Offload wins, and wins more as convolutions grow.
+    speedups = [r["enclave_seconds"] / r["gpu_seconds"] for r in rows]
+    assert all(s > 1.5 for s in speedups[1:])
+    assert speedups[-1] > speedups[0]
+    benchmark.extra_info["speedups"] = [round(s, 1) for s in speedups]

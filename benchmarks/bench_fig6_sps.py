@@ -1,0 +1,63 @@
+"""Fig. 6 — SPS throughput vs. transaction size on sgx-emlPM.
+
+10 MB persistent array, single thread, transaction sizes 1-2048, three
+runtimes (native / Romulus-in-SCONE / SGX-Romulus) and two PWB+fence
+combinations (CLFLUSH+NOP, CLFLUSHOPT+SFENCE).
+
+Expected shapes (paper Section VI):
+* SGX-Romulus fences 1.6-3.7x slower than native;
+* SCONE 1.5-2.5x ahead of SGX-Romulus up to 64 swaps/tx;
+* beyond 64 swaps/tx SCONE collapses (bounded volatile log) and
+  SGX-Romulus is 1.6-6.9x faster.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench import format_table, run_fig6
+from repro.bench.fig6 import DEFAULT_TX_SIZES, series
+
+
+def test_fig6_sps_sweep(benchmark):
+    points = run_once(
+        benchmark,
+        run_fig6,
+        server="sgx-emlPM",
+        tx_sizes=DEFAULT_TX_SIZES,
+        array_bytes=10 * 1024 * 1024,
+        target_swaps=2048,
+    )
+
+    for pwb in ("clflush", "clflushopt"):
+        s = series(points, pwb)
+        fence_label = "CLFLUSH+NOP" if pwb == "clflush" else "CLFLUSHOPT+SFENCE"
+        print(f"\nFig. 6 — SPS throughput (Mswaps/s), {fence_label}")
+        print(
+            format_table(
+                ["tx size"] + list(s),
+                [
+                    [size]
+                    + [f"{s[rt][i] / 1e6:.2f}" for rt in s]
+                    for i, size in enumerate(DEFAULT_TX_SIZES)
+                ],
+            )
+        )
+
+    s = series(points, "clflushopt")
+    sizes = list(DEFAULT_TX_SIZES)
+    for i, size in enumerate(sizes):
+        native_over_sgx = s["native"][i] / s["sgx-romulus"][i]
+        assert 1.3 < native_over_sgx < 3.7, size
+        if 2 <= size <= 64:
+            assert 1.3 < s["scone"][i] / s["sgx-romulus"][i] < 2.5, size
+        if size >= 256:
+            assert 1.6 < s["sgx-romulus"][i] / s["scone"][i] < 6.9, size
+
+    i64, i2048 = sizes.index(64), sizes.index(2048)
+    benchmark.extra_info["native_over_sgx_at_64"] = round(
+        s["native"][i64] / s["sgx-romulus"][i64], 2
+    )
+    benchmark.extra_info["sgx_over_scone_at_2048"] = round(
+        s["sgx-romulus"][i2048] / s["scone"][i2048], 2
+    )

@@ -1,0 +1,73 @@
+"""Table I — mirroring-step breakdown (a) and Plinius speed-ups (b).
+
+Aggregated from the Fig. 7 sweep, split below/beyond the usable EPC on
+sgx-emlPM.  Paper values:
+
+  sgx-emlPM: save encrypt 66.4%/92.3%, restore read 75%/91.2%;
+             write 7.9x/9.6x, save 3.5x/1.7x, read 3x, restore 2.5x/1.7x.
+  emlSGX-PM: save encrypt 30.3%, restore read 17.8%;
+             write 4.5x, save 3.2x, read 16.8x, restore ~3.7x.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.bench import compute_table1, run_fig7
+from repro.bench.table1 import render_table1
+
+LAYER_COUNTS = (1, 3, 5, 7, 9, 11, 13)
+
+
+def _sweep_and_table(server):
+    records = run_fig7(
+        server, layer_counts=LAYER_COUNTS, filters=512, runs=1
+    )
+    return compute_table1(records)
+
+
+def test_table1_sgx_emlpm(benchmark):
+    table = run_once(benchmark, _sweep_and_table, server="sgx-emlPM")
+    print("\n" + render_table1(table))
+
+    below, beyond = table.below, table.beyond
+    assert beyond is not None
+    # (a) breakdowns, in the paper's bands.
+    assert 55 < below.save_encrypt_pct < 75  # paper 66.4
+    assert beyond.save_encrypt_pct > below.save_encrypt_pct  # paper 92.3
+    assert 65 < below.restore_read_pct < 85  # paper 75
+    assert beyond.restore_read_pct > below.restore_read_pct  # paper 91.2
+    # (b) speed-ups.
+    assert 6 < below.write_speedup < 12  # paper 7.9
+    assert 2.5 < below.save_speedup < 4.5  # paper 3.5
+    assert 2.2 < below.read_speedup < 4.0  # paper 3
+    assert 2.0 < below.restore_speedup < 3.2  # paper 2.5
+    assert beyond.save_speedup < below.save_speedup  # paper 1.7 < 3.5
+    assert beyond.restore_speedup < below.restore_speedup
+
+    benchmark.extra_info["save_encrypt_pct"] = (
+        round(below.save_encrypt_pct, 1),
+        round(beyond.save_encrypt_pct, 1),
+    )
+    benchmark.extra_info["save_speedup"] = (
+        round(below.save_speedup, 2),
+        round(beyond.save_speedup, 2),
+    )
+
+
+def test_table1_emlsgx_pm(benchmark):
+    table = run_once(benchmark, _sweep_and_table, server="emlSGX-PM")
+    print("\n" + render_table1(table))
+
+    band = table.below
+    assert table.beyond is None  # no EPC effect in SGX simulation mode
+    assert 22 < band.save_encrypt_pct < 40  # paper 30.3
+    assert 12 < band.restore_read_pct < 28  # paper 17.8
+    assert 3.5 < band.write_speedup < 6.0  # paper 4.5
+    assert 2.5 < band.save_speedup < 4.5  # paper 3.2
+    assert 12 < band.read_speedup < 22  # paper 16.8
+    assert 2.8 < band.restore_speedup < 5.0  # abstract ~3.7
+
+    benchmark.extra_info["save_encrypt_pct"] = round(band.save_encrypt_pct, 1)
+    benchmark.extra_info["read_speedup"] = round(band.read_speedup, 2)

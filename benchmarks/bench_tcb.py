@@ -1,0 +1,17 @@
+"""Section IV claim — TCB reduction from manual trusted/untrusted
+partitioning (paper: ~44% vs. running everything in the enclave)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import tcb_report
+from repro.analysis.tcb import render_report
+
+
+def test_tcb_reduction(benchmark):
+    report = run_once(benchmark, tcb_report)
+    print("\n" + render_report(report))
+    assert 0.30 < report.reduction < 0.75  # paper: ~0.44
+    benchmark.extra_info["reduction"] = round(report.reduction, 3)
+    benchmark.extra_info["trusted_loc"] = report.trusted_loc

@@ -1,0 +1,16 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Every benchmark in this directory regenerates one table or figure of the
+paper.  pytest-benchmark measures the harness wall time; the *results*
+(simulated-time metrics) are attached as ``extra_info`` and printed as
+paper-style tables (visible with ``pytest benchmarks/ --benchmark-only -s``).
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run a harness exactly once under pytest-benchmark."""
+    return benchmark.pedantic(
+        fn, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+    )

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in
+offline environments where pip cannot download build-isolation
+dependencies: with this file present pip can fall back to the legacy
+``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""Plinius reproduction: secure and persistent ML model training.
+
+A from-scratch Python reproduction of *"Plinius: Secure and Persistent
+Machine Learning Model Training"* (Yuhala, Felber, Schiavoni, Tchana —
+DSN 2021): an ML framework that trains models inside Intel SGX enclaves
+and uses persistent memory (PM) for near-instant crash recovery via an
+encrypted *mirroring* mechanism.
+
+Because SGX enclaves and Optane PM cannot be driven from pure Python,
+the hardware is simulated with functional fidelity and calibrated cost
+models (see ``DESIGN.md``); the Plinius algorithms themselves — Romulus
+durable transactions, AES-GCM sealed mirrors, encrypted PM-resident
+training data, crash-resilient training — run for real.
+
+Quickstart::
+
+    from repro import PliniusSystem
+
+    system = PliniusSystem.create(server="emlSGX-PM", seed=7)
+    model = system.build_model(n_conv_layers=5)
+    result = system.train(model, iterations=100)
+    print(result.final_loss)
+
+Package map:
+
+- :mod:`repro.simtime`  — simulated clock and calibrated cost models
+- :mod:`repro.hw`       — PM / SSD / DRAM device simulators
+- :mod:`repro.sgx`      — enclave, ecall/ocall, sealing, attestation
+- :mod:`repro.crypto`   — AES-GCM (from scratch + fast backend)
+- :mod:`repro.romulus`  — SGX-Romulus durable-transaction PM library
+- :mod:`repro.darknet`  — SGX-Darknet numpy CNN framework
+- :mod:`repro.data`     — MNIST (IDX loader + synthetic generator)
+- :mod:`repro.core`     — Plinius: mirroring, PM data, trainer, workflow
+- :mod:`repro.spot`     — AWS EC2 spot-instance trace simulation
+- :mod:`repro.bench`    — harnesses regenerating every figure and table
+- :mod:`repro.analysis` — TCB accounting
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.system import PliniusSystem, TrainResult
+
+__all__ = ["PliniusSystem", "TrainResult", "__version__"]

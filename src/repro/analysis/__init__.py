@@ -1,0 +1,5 @@
+"""Static analyses of the reproduction itself."""
+
+from repro.analysis.tcb import TcbReport, tcb_report
+
+__all__ = ["TcbReport", "tcb_report"]

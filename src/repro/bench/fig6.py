@@ -1,0 +1,79 @@
+"""Fig. 6 — SPS throughput vs. transaction size, three runtimes x two PWBs.
+
+The paper runs SPS on the *sgx-emlPM* node ("real SGX is the main
+factor that dictates the performance differences") over transaction
+sizes 1-2048 for native, Romulus-in-SCONE and SGX-Romulus, with
+CLFLUSH+NOP and CLFLUSHOPT+SFENCE persistence combinations.
+
+Expected shapes: SGX-Romulus fences 1.6-3.7x slower than native;
+SCONE ahead of SGX-Romulus by 1.5-2.5x up to 64 swaps/tx, then a
+pronounced drop (limited volatile-log space) leaving SGX-Romulus
+1.6-6.9x faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.hw.pmem import FlushInstruction
+from repro.romulus.runtime import NATIVE, SCONE, SGX_SDK, RuntimeProfile
+from repro.romulus.sps import SpsConfig, run_sps
+from repro.simtime.profiles import get_profile
+
+DEFAULT_TX_SIZES = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048)
+RUNTIMES: Sequence[RuntimeProfile] = (NATIVE, SCONE, SGX_SDK)
+
+
+@dataclass(frozen=True)
+class Fig6Point:
+    """One curve point: a (runtime, PWB, tx size) throughput sample."""
+
+    runtime: str
+    flush_instruction: str
+    tx_size: int
+    swaps_per_second: float
+
+
+def run_fig6(
+    server: str = "sgx-emlPM",
+    tx_sizes: Sequence[int] = DEFAULT_TX_SIZES,
+    array_bytes: int = 10 * 1024 * 1024,
+    target_swaps: int = 2048,
+) -> List[Fig6Point]:
+    """Sweep the full Fig. 6 matrix; returns all curve points."""
+    profile = get_profile(server)
+    points: List[Fig6Point] = []
+    for instruction in (FlushInstruction.CLFLUSH, FlushInstruction.CLFLUSHOPT):
+        for runtime in RUNTIMES:
+            for tx_size in tx_sizes:
+                result = run_sps(
+                    profile,
+                    runtime,
+                    SpsConfig(
+                        array_bytes=array_bytes,
+                        tx_size=tx_size,
+                        target_swaps=target_swaps,
+                        flush_instruction=instruction,
+                    ),
+                )
+                points.append(
+                    Fig6Point(
+                        runtime=runtime.name,
+                        flush_instruction=instruction.value,
+                        tx_size=tx_size,
+                        swaps_per_second=result.swaps_per_second,
+                    )
+                )
+    return points
+
+
+def series(
+    points: List[Fig6Point], flush_instruction: str
+) -> Dict[str, List[float]]:
+    """Group points into per-runtime throughput series for one PWB."""
+    out: Dict[str, List[float]] = {}
+    for p in points:
+        if p.flush_instruction == flush_instruction:
+            out.setdefault(p.runtime, []).append(p.swaps_per_second)
+    return out

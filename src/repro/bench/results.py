@@ -1,0 +1,24 @@
+"""Small helpers for printing paper-style result tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "  "
+
+    def fmt(cells: Sequence[str]) -> str:
+        return sep.join(c.rjust(w) for c, w in zip(cells, widths))
+
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines += [fmt(row) for row in str_rows]
+    return "\n".join(lines)

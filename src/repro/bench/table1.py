@@ -1,0 +1,134 @@
+"""Table I — mirroring-step breakdown (a) and Plinius speed-ups (b).
+
+Computed from the Fig. 7 sweep.  The paper evaluates "results beneath
+and beyond the EPC limit separately" on sgx-emlPM (the shaded cells);
+emlSGX-PM has no real SGX, so its columns are single values.
+
+Paper values for reference:
+
+================  ===========  ==========
+(a) Breakdown     sgx-emlPM    emlSGX-PM
+----------------  -----------  ----------
+Save: Encrypt     66.4%/92.3%  30.3%
+Save: Write       33.6%/7.7%   69.7%
+Restore: Read     75%/91.2%    17.8%
+Restore: Decrypt  25%/8.8%     82.2%
+================  ===========  ==========
+
+================  ===========  ==========
+(b) Speed-ups     sgx-emlPM    emlSGX-PM
+----------------  -----------  ----------
+Write             7.9x/9.6x    4.5x
+Save total        3.5x/1.7x    3.2x
+Read              3x/3x        16.8x
+Restore total     2.5x/1.7x    ~3.7x
+================  ===========  ==========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.bench.fig7 import Fig7Record
+
+
+@dataclass(frozen=True)
+class Table1Band:
+    """One below-/beyond-EPC bucket of Table I."""
+
+    n_points: int
+    save_encrypt_pct: float
+    save_write_pct: float
+    restore_read_pct: float
+    restore_decrypt_pct: float
+    write_speedup: float
+    save_speedup: float
+    read_speedup: float
+    restore_speedup: float
+
+
+@dataclass(frozen=True)
+class Table1:
+    """Table I for one server: below-EPC and (if present) beyond-EPC."""
+
+    server: str
+    below: Table1Band
+    beyond: Optional[Table1Band]
+
+
+def _band(records: Sequence[Fig7Record]) -> Table1Band:
+    def mean(values: List[float]) -> float:
+        return float(np.mean(values))
+
+    save_enc = mean(
+        [r.pm_save.crypto_seconds / r.pm_save.total for r in records]
+    )
+    read = mean(
+        [r.pm_restore.storage_seconds / r.pm_restore.total for r in records]
+    )
+    return Table1Band(
+        n_points=len(records),
+        save_encrypt_pct=100 * save_enc,
+        save_write_pct=100 * (1 - save_enc),
+        restore_read_pct=100 * read,
+        restore_decrypt_pct=100 * (1 - read),
+        write_speedup=mean([r.write_speedup for r in records]),
+        save_speedup=mean([r.save_speedup for r in records]),
+        read_speedup=mean([r.read_speedup for r in records]),
+        restore_speedup=mean([r.restore_speedup for r in records]),
+    )
+
+
+def compute_table1(records: Sequence[Fig7Record]) -> Table1:
+    """Aggregate a Fig. 7 sweep (one server) into Table I bands."""
+    if not records:
+        raise ValueError("no Fig. 7 records to aggregate")
+    server = records[0].server
+    below = [r for r in records if not r.over_epc]
+    beyond = [r for r in records if r.over_epc]
+    if not below:
+        raise ValueError("sweep has no below-EPC points")
+    return Table1(
+        server=server,
+        below=_band(below),
+        beyond=_band(beyond) if beyond else None,
+    )
+
+
+def render_table1(table: Table1) -> str:
+    """Paper-style rendering of Table I for one server."""
+    def fmt(band: Optional[Table1Band], attr: str) -> str:
+        if band is None:
+            return "   --"
+        return f"{getattr(band, attr):5.1f}"
+
+    rows = [
+        f"Table I — {table.server} "
+        f"(below EPC: {table.below.n_points} pts"
+        + (
+            f", beyond: {table.beyond.n_points} pts)"
+            if table.beyond
+            else ", no beyond-EPC points)"
+        ),
+        "                     below-EPC  beyond-EPC",
+        f"Save encrypt %        {fmt(table.below, 'save_encrypt_pct')}      "
+        f"{fmt(table.beyond, 'save_encrypt_pct')}",
+        f"Save write %          {fmt(table.below, 'save_write_pct')}      "
+        f"{fmt(table.beyond, 'save_write_pct')}",
+        f"Restore read %        {fmt(table.below, 'restore_read_pct')}      "
+        f"{fmt(table.beyond, 'restore_read_pct')}",
+        f"Restore decrypt %     {fmt(table.below, 'restore_decrypt_pct')}      "
+        f"{fmt(table.beyond, 'restore_decrypt_pct')}",
+        f"Write speed-up        {fmt(table.below, 'write_speedup')}x     "
+        f"{fmt(table.beyond, 'write_speedup')}x",
+        f"Save speed-up         {fmt(table.below, 'save_speedup')}x     "
+        f"{fmt(table.beyond, 'save_speedup')}x",
+        f"Read speed-up         {fmt(table.below, 'read_speedup')}x     "
+        f"{fmt(table.beyond, 'read_speedup')}x",
+        f"Restore speed-up      {fmt(table.below, 'restore_speedup')}x     "
+        f"{fmt(table.beyond, 'restore_speedup')}x",
+    ]
+    return "\n".join(rows)

@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro <experiment>``.
+
+Runs any of the paper's experiments (or a quick training demo) from the
+shell, printing the same paper-style tables the benchmarks produce.
+Scale flags keep ad-hoc runs fast; the full-scale parameters live in
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import format_table
+
+
+def _cmd_fig2(args: argparse.Namespace) -> None:
+    from repro.bench import run_fig2_table
+
+    rows = run_fig2_table(args.server)
+    print(f"Fig. 2 — FIO throughput (MiB/s) on {args.server}")
+    print(
+        format_table(
+            ["workload", "ssd-ext4", "pm-dax", "ramdisk"],
+            [
+                [w, f"{v['ssd-ext4']:.1f}", f"{v['pm-dax']:.1f}",
+                 f"{v['ramdisk']:.1f}"]
+                for w, v in rows
+            ],
+        )
+    )
+
+
+def _cmd_fig6(args: argparse.Namespace) -> None:
+    from repro.bench import run_fig6
+    from repro.bench.fig6 import series
+
+    tx_sizes = (1, 4, 16, 64, 256, 1024)
+    points = run_fig6(
+        server=args.server,
+        tx_sizes=tx_sizes,
+        array_bytes=4 << 20,
+        target_swaps=1024,
+    )
+    for pwb in ("clflush", "clflushopt"):
+        s = series(points, pwb)
+        print(f"Fig. 6 — SPS (Mswaps/s), {pwb}")
+        print(
+            format_table(
+                ["tx size"] + list(s),
+                [
+                    [size] + [f"{s[rt][i] / 1e6:.2f}" for rt in s]
+                    for i, size in enumerate(tx_sizes)
+                ],
+            )
+        )
+
+
+def _cmd_fig7(args: argparse.Namespace) -> None:
+    from repro.bench import compute_table1, run_fig7
+    from repro.bench.table1 import render_table1
+
+    counts = (1, 4, 8, 11) if args.full else (1, 3, 5)
+    filters = 512 if args.full else 128
+    records = run_fig7(
+        args.server, layer_counts=counts, filters=filters, runs=1
+    )
+    print(f"Fig. 7 — mirroring vs. SSD checkpointing on {args.server}")
+    print(
+        format_table(
+            ["model MB", "pm save ms", "ssd save ms", "save x", "restore x"],
+            [
+                [
+                    f"{r.model_mb:.1f}",
+                    f"{r.pm_save.total * 1e3:.1f}",
+                    f"{r.ssd_save.total * 1e3:.1f}",
+                    f"{r.save_speedup:.2f}",
+                    f"{r.restore_speedup:.2f}",
+                ]
+                for r in records
+            ],
+        )
+    )
+    if args.full:
+        print()
+        print(render_table1(compute_table1(records)))
+
+
+def _cmd_fig8(args: argparse.Namespace) -> None:
+    from repro.bench import run_fig8
+
+    points = run_fig8(
+        args.server, batch_sizes=(16, 64, 256), iterations=3, n_rows=512
+    )
+    print(f"Fig. 8 — batched-decryption overhead on {args.server}")
+    print(
+        format_table(
+            ["batch", "encrypted ms", "plaintext ms", "overhead"],
+            [
+                [p.batch_size, f"{p.encrypted_seconds * 1e3:.2f}",
+                 f"{p.plaintext_seconds * 1e3:.2f}", f"{p.overhead:.2f}x"]
+                for p in points
+            ],
+        )
+    )
+
+
+def _cmd_fig9(args: argparse.Namespace) -> None:
+    from repro.bench import run_fig9
+
+    iterations = 500 if args.full else 80
+    result = run_fig9(
+        args.server,
+        iterations=iterations,
+        n_crashes=9 if args.full else 3,
+        n_rows=1024 if args.full else 256,
+        filters=8 if args.full else 4,
+        batch=32 if args.full else 16,
+    )
+    print(f"Fig. 9 — crash resilience ({len(result.crash_points)} kills)")
+    print(f"crash points: {result.crash_points}")
+    print(f"resilient:     {result.resilient_total_iterations} iterations, "
+          f"final loss {result.resilient.final_loss:.4f}")
+    print(f"baseline:      final loss {result.baseline.final_loss:.4f}")
+    print(f"non-resilient: {result.non_resilient_total_iterations} "
+          f"combined iterations")
+
+
+def _cmd_fig10(args: argparse.Namespace) -> None:
+    from repro.bench import run_fig10
+
+    result = run_fig10(
+        args.server,
+        target_iterations=500 if args.full else 60,
+        iterations_per_interval=8 if args.full else 5,
+        n_conv_layers=12 if args.full else 3,
+        filters=4,
+        n_rows=1024 if args.full else 256,
+    )
+    res, non = result.resilient, result.non_resilient
+    print("Fig. 10 — spot-instance training")
+    print(f"(a) resilient: {res.total_iterations} iterations, "
+          f"{res.interruptions} interruptions, "
+          f"final loss {res.log.final_loss:.4f}")
+    print("(b) state: " + "".join(str(s) for s in res.state_curve))
+    print(f"(c) non-resilient: {non.total_iterations} combined iterations")
+
+
+def _cmd_inference(args: argparse.Namespace) -> None:
+    from repro.bench import run_inference
+
+    result = run_inference(
+        args.server,
+        n_conv_layers=12 if args.full else 5,
+        iterations=400 if args.full else 150,
+        n_train=6000 if args.full else 2000,
+        n_test=1000 if args.full else 400,
+    )
+    print(f"Secure inference: {result.accuracy:.2%} accuracy on "
+          f"{result.test_samples} test digits (paper: 98.52%)")
+
+
+def _cmd_tcb(args: argparse.Namespace) -> None:
+    from repro.analysis import tcb_report
+    from repro.analysis.tcb import render_report
+
+    print(render_report(tcb_report()))
+
+
+def _cmd_train(args: argparse.Namespace) -> None:
+    from repro.core.system import PliniusSystem
+    from repro.data import synthetic_mnist, to_data_matrix
+
+    images, labels, _, _ = synthetic_mnist(args.rows, 1, seed=args.seed)
+    system = PliniusSystem.create(server=args.server, seed=args.seed)
+    system.load_data(to_data_matrix(images, labels))
+    model = system.build_model(
+        n_conv_layers=args.layers, filters=args.filters, batch=args.batch
+    )
+    result = system.train(model, iterations=args.iterations)
+    print(f"trained {result.final_iteration} iterations on {args.server}: "
+          f"loss {result.log.losses[0]:.3f} -> {result.final_loss:.3f} "
+          f"in {result.sim_seconds:.3f} simulated seconds")
+    print(f"PM mirror at iteration {system.mirror.stored_iteration()}; "
+          f"kill the process at any point and re-run to resume")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Plinius (DSN 2021) reproduction experiment runner",
+    )
+    parser.add_argument(
+        "--server",
+        default="emlSGX-PM",
+        choices=["sgx-emlPM", "emlSGX-PM"],
+        help="which of the paper's two servers to simulate",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale parameters (slower); default is a quick run",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    commands = {
+        "fig2": (_cmd_fig2, "FIO device characterization"),
+        "fig6": (_cmd_fig6, "SPS PM-library comparison"),
+        "fig7": (_cmd_fig7, "mirroring vs. SSD checkpointing"),
+        "fig8": (_cmd_fig8, "batched-decryption overhead"),
+        "fig9": (_cmd_fig9, "crash resilience"),
+        "fig10": (_cmd_fig10, "spot-instance training"),
+        "inference": (_cmd_inference, "secure inference accuracy"),
+        "tcb": (_cmd_tcb, "TCB partitioning report"),
+    }
+    for name, (fn, help_text) in commands.items():
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.set_defaults(func=fn)
+
+    train = sub.add_parser("train", help="train a CNN with mirroring")
+    train.add_argument("--iterations", type=int, default=100)
+    train.add_argument("--layers", type=int, default=5)
+    train.add_argument("--filters", type=int, default=8)
+    train.add_argument("--batch", type=int, default=32)
+    train.add_argument("--rows", type=int, default=1024)
+    train.add_argument("--seed", type=int, default=7)
+    train.set_defaults(func=_cmd_train)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

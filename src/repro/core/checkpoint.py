@@ -1,0 +1,168 @@
+"""The SSD checkpointing baseline (Section VI, Fig. 7 comparison).
+
+"For SSD checkpointing, we use ocalls to fread and fwrite libC routines
+to read/write from/to SSD.  After each call to fwrite, we flush the libC
+buffers and issue an fsync, to ensure data is actually written."
+
+The baseline encrypts exactly like the mirroring path (same AES-GCM
+engine, same per-buffer granularity — the comparison isolates the
+storage path), then serializes buffer-by-buffer through ocalls, paying:
+boundary crossings per chunk, the enclave-to-DRAM copy, SSD bandwidth,
+and an fsync per fwrite.  Restores pay fread ocalls, the DRAM-to-EPC
+copy, and in-enclave decryption.
+
+Checkpoint file format: ``iter (u64) | nbuf (u64) | [size u64, sealed
+bytes] * nbuf``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.mirror import MirrorTiming
+from repro.crypto.engine import SEAL_OVERHEAD, EncryptionEngine
+from repro.darknet.network import Network
+from repro.hw.ssd import BlockDevice
+from repro.sgx.ecall import EnclaveRuntime
+from repro.sgx.enclave import Enclave
+from repro.simtime.profiles import ServerProfile
+
+_FILE_HEADER = struct.Struct("<QQ")
+_BUF_HEADER = struct.Struct("<Q")
+
+
+class CheckpointError(RuntimeError):
+    """Raised for missing or malformed checkpoints."""
+
+
+class SsdCheckpoint:
+    """Encrypt-and-checkpoint to an SSD file via ocalls."""
+
+    def __init__(
+        self,
+        ssd: BlockDevice,
+        engine: EncryptionEngine,
+        enclave: Enclave,
+        runtime: EnclaveRuntime,
+        profile: ServerProfile,
+        path: str = "model.ckpt",
+        chunk_size: int = 1 << 20,
+    ) -> None:
+        self.ssd = ssd
+        self.engine = engine
+        self.enclave = enclave
+        self.runtime = runtime
+        self.profile = profile
+        self.path = path
+        self.chunk_size = chunk_size
+        self.clock = enclave.clock
+        runtime.register_ocall("ckpt_fwrite", self._ocall_fwrite)
+        runtime.register_ocall("ckpt_fread", self._ocall_fread)
+        runtime.register_ocall("ckpt_fsync", self._ocall_fsync)
+
+    # ------------------------------------------------------------------
+    # Untrusted helpers (the sgx-darknet-helper side)
+    # ------------------------------------------------------------------
+    def _ocall_fwrite(self, offset: int, data: bytes) -> None:
+        self.ssd.write(self.path, offset, data)
+
+    def _ocall_fread(self, offset: int, length: int) -> bytes:
+        return self.ssd.read(self.path, offset, length)
+
+    def _ocall_fsync(self) -> None:
+        self.ssd.fsync(self.path)
+
+    # ------------------------------------------------------------------
+    def exists(self) -> bool:
+        """Whether a checkpoint file is present on the SSD."""
+        return self.ssd.exists(self.path)
+
+    def save(self, network: Network, iteration: int) -> MirrorTiming:
+        """Encrypt and fwrite+fsync the model; returns phase timings."""
+        crypto = self.profile.crypto
+
+        # Phase 1 — encrypt in the enclave (identical to mirror_out).
+        with self.clock.stopwatch("encrypt") as encrypt_span:
+            sealed: List[bytes] = []
+            for _, (name, arr) in network.parameter_buffers():
+                plaintext = np.ascontiguousarray(arr, np.float32).tobytes()
+                self.enclave.touch(len(plaintext))
+                self.clock.advance(crypto.encrypt_time(len(plaintext)))
+                sealed.append(self.engine.seal(plaintext, aad=name.encode()))
+
+        # Phase 2 — serialize to SSD: fwrite + fsync per buffer.
+        with self.clock.stopwatch("write") as write_span:
+            self.ssd.delete(self.path)
+            header = _FILE_HEADER.pack(iteration, len(sealed))
+            self._fwrite_chunks(0, header)
+            self.runtime.ocall("ckpt_fsync")
+            offset = len(header)
+            for blob in sealed:
+                record = _BUF_HEADER.pack(len(blob)) + blob
+                self._fwrite_chunks(offset, record)
+                # "After each call to fwrite ... issue an fsync."
+                self.runtime.ocall("ckpt_fsync")
+                offset += len(record)
+        return MirrorTiming(
+            crypto_seconds=encrypt_span.elapsed,
+            storage_seconds=write_span.elapsed,
+        )
+
+    def restore(self, network: Network) -> Tuple[int, MirrorTiming]:
+        """fread + decrypt the model; returns (iteration, timings)."""
+        if not self.exists():
+            raise CheckpointError(f"no checkpoint at {self.path!r}")
+        crypto = self.profile.crypto
+
+        # Phase 1 — fread everything into the enclave ("Read").
+        with self.clock.stopwatch("read") as read_span:
+            size = self.ssd.file_size(self.path)
+            blob = self._fread_chunks(0, size)
+
+        # Phase 2 — decrypt into the model ("Decrypt").
+        with self.clock.stopwatch("decrypt") as decrypt_span:
+            iteration, nbuf = _FILE_HEADER.unpack_from(blob, 0)
+            offset = _FILE_HEADER.size
+            buffers = network.parameter_buffers()
+            if nbuf != len(buffers):
+                raise CheckpointError(
+                    f"checkpoint holds {nbuf} buffers, model has "
+                    f"{len(buffers)} — architecture mismatch"
+                )
+            for layer_idx, (name, arr) in buffers:
+                (blen,) = _BUF_HEADER.unpack_from(blob, offset)
+                offset += _BUF_HEADER.size
+                sealed = blob[offset : offset + blen]
+                offset += blen
+                self.clock.advance(
+                    crypto.decrypt_time(blen - SEAL_OVERHEAD)
+                )
+                plaintext = self.engine.unseal(sealed, aad=name.encode())
+                network.layers[layer_idx].set_parameter(
+                    name, np.frombuffer(plaintext, dtype=np.float32)
+                )
+        network.iteration = iteration
+        return iteration, MirrorTiming(
+            crypto_seconds=decrypt_span.elapsed,
+            storage_seconds=read_span.elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    def _fwrite_chunks(self, offset: int, data: bytes) -> None:
+        for start in range(0, len(data), self.chunk_size):
+            chunk = data[start : start + self.chunk_size]
+            # Copy out of the EPC, cross the boundary, hit the page cache.
+            self.enclave.copy_out(len(chunk))
+            self.runtime.ocall("ckpt_fwrite", offset + start, chunk)
+
+    def _fread_chunks(self, offset: int, length: int) -> bytes:
+        parts: List[bytes] = []
+        for start in range(0, length, self.chunk_size):
+            n = min(self.chunk_size, length - start)
+            parts.append(self.runtime.ocall("ckpt_fread", offset + start, n))
+            # Copy from untrusted DRAM into the EPC.
+            self.enclave.copy_in(n)
+        return b"".join(parts)

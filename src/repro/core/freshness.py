@@ -1,0 +1,164 @@
+"""Rollback protection for the PM mirror (extension).
+
+Threat: the paper's adversary controls the entire software stack and the
+hardware around the CPU package — including the PM DIMMs.  AES-GCM makes
+the mirror unforgeable, but an old mirror is still a *valid* mirror: by
+re-imaging PM with a snapshot from iteration k, the attacker silently
+rolls training back (e.g. to resurrect weights before a poisoning fix).
+
+Defense: bind the mirror to an SGX **monotonic counter** that lives in
+platform NVRAM, outside any replayable medium:
+
+* on (every K-th) mirror-out, the enclave increments the counter and
+  stores a sealed *freshness token* ``(counter_value, iteration)`` next
+  to the mirror in PM;
+* on mirror-in, the enclave unseals the token and requires
+  ``0 <= platform_counter - token.counter <= slack`` where ``slack``
+  covers mirrors since the last counter bump (0 for strict mode).
+
+A replayed PM image carries an old token: the counter gap exceeds the
+slack and restore fails with :class:`RollbackError`.  Because real SGX
+counter increments cost ~100 ms, ``counter_every`` trades a bounded
+rollback window (< K iterations) for throughput — quantified in
+``benchmarks/bench_ext_rollback.py``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.core.mirror import MirrorModule, MirrorTiming
+from repro.darknet.network import Network
+from repro.sgx.counters import MonotonicCounterStore
+
+#: Root slot for the freshness token.
+FRESHNESS_ROOT = 2
+
+_TOKEN = struct.Struct("<QQ")  # counter_value, iteration
+
+
+class RollbackError(RuntimeError):
+    """Raised when the PM mirror is older than the platform counter allows."""
+
+
+class FreshMirrorModule:
+    """A :class:`MirrorModule` wrapper enforcing mirror freshness."""
+
+    def __init__(
+        self,
+        mirror: MirrorModule,
+        counters: MonotonicCounterStore,
+        counter_name: str = "plinius-mirror",
+        counter_every: int = 1,
+    ) -> None:
+        if counter_every < 1:
+            raise ValueError(f"counter_every must be >= 1: {counter_every}")
+        self.mirror = mirror
+        self.counters = counters
+        self.counter_name = counter_name
+        self.counter_every = counter_every
+        self._mirrors_since_bump = 0
+        # The enclave is the counter's only writer, so it may cache the
+        # value instead of paying a slow NVRAM read per mirror.
+        self._cached_counter = counters.create(counter_name)
+
+    # ------------------------------------------------------------------
+    # Pass-throughs
+    # ------------------------------------------------------------------
+    def exists(self) -> bool:
+        return self.mirror.exists()
+
+    def stored_iteration(self) -> int:
+        return self.mirror.stored_iteration()
+
+    def alloc_mirror_model(self, network: Network) -> None:
+        self.mirror.alloc_mirror_model(network)
+        self._write_token(self.counters.read(self.counter_name), 0)
+
+    # ------------------------------------------------------------------
+    def _token_offset(self) -> int:
+        region = self.mirror.region
+        offset = region.root(FRESHNESS_ROOT)
+        if offset == 0:
+            raise RollbackError("mirror has no freshness token")
+        return offset
+
+    def _write_token(self, counter_value: int, iteration: int) -> None:
+        region = self.mirror.region
+        sealed = self.mirror.engine.seal(
+            _TOKEN.pack(counter_value, iteration), aad=b"freshness-token"
+        )
+        with region.begin_transaction() as tx:
+            existing = region.root(FRESHNESS_ROOT)
+            if existing == 0:
+                offset = self.mirror.heap.pmalloc(tx, len(sealed))
+                tx.write_u64(region.root_offset(FRESHNESS_ROOT), offset)
+            else:
+                offset = existing
+            tx.write(offset, sealed)
+
+    def _read_token(self) -> tuple:
+        region = self.mirror.region
+        offset = self._token_offset()
+        sealed_size = _TOKEN.size + 28
+        sealed = region.read(offset, sealed_size)
+        plain = self.mirror.engine.unseal(sealed, aad=b"freshness-token")
+        return _TOKEN.unpack(plain)
+
+    # ------------------------------------------------------------------
+    def mirror_out(self, network: Network, iteration: int) -> MirrorTiming:
+        """Mirror, stamping (and periodically bumping) the counter.
+
+        Ordering matters for crash safety: the token is written *with
+        the post-bump value* before the counter is incremented, so a
+        crash between the two leaves ``token = platform + 1`` — a state
+        recovery can repair by re-executing the increment (only the
+        enclave can forge a token, so accepting it is sound).  The
+        result is a zero-width rollback window in strict mode.
+        """
+        timing = self.mirror.mirror_out(network, iteration)
+        self._mirrors_since_bump += 1
+        if self._mirrors_since_bump >= self.counter_every:
+            self._write_token(self._cached_counter + 1, iteration)
+            self._cached_counter = self.counters.increment(self.counter_name)
+            self._mirrors_since_bump = 0
+        else:
+            self._write_token(self._cached_counter, iteration)
+        return timing
+
+    def mirror_in(self, network: Network) -> MirrorTiming:
+        """Restore only if the mirror is fresh."""
+        token_counter, token_iteration = self._read_token()
+        platform = self.counters.read(self.counter_name)
+        gap = platform - token_counter
+        if gap == -1:
+            # Crashed between token write and counter bump: finish the
+            # interrupted increment.  The token authenticates under our
+            # key, so only a genuine newer mirror can put us here.
+            platform = self.counters.increment(self.counter_name)
+            gap = platform - token_counter
+        self._cached_counter = platform
+        if gap < 0:
+            raise RollbackError(
+                "freshness token is ahead of the platform counter — "
+                "the counter store was reset or tampered with"
+            )
+        if gap > 0:
+            raise RollbackError(
+                f"PM mirror is stale: platform counter {platform}, "
+                f"token counter {token_counter} — a newer mirror existed "
+                f"(possible rollback/replay attack)"
+            )
+        timing = self.mirror.mirror_in(network)
+        if network.iteration != token_iteration:
+            raise RollbackError(
+                f"mirror iteration {network.iteration} does not match "
+                f"freshness token iteration {token_iteration}"
+            )
+        return timing
+
+    @property
+    def max_rollback_window(self) -> int:
+        """Worst-case undetected rollback, in mirrors (0 = none)."""
+        return self.counter_every - 1

@@ -1,0 +1,312 @@
+"""The Plinius mirroring module (Section IV + Algorithm 3).
+
+Creates and maintains an *encrypted mirror copy* of the enclave model
+in persistent memory:
+
+* the PM model is a **linked list of persistent layer nodes** ("so as to
+  simplify future modifications to the model's structure");
+* each layer node points at up to :data:`MAX_BUFFERS` sealed parameter
+  buffers (weights, biases, scales, rolling mean/variance — 5 for a
+  batch-normalized convolution, hence 140 B of AES-GCM metadata per
+  layer);
+* ``mirror_out`` encrypts the enclave model's parameters and writes them
+  into the PM mirror inside **one Romulus transaction** (a crash cannot
+  leave a half-updated mirror);
+* ``mirror_in`` reads the sealed buffers from PM into the enclave and
+  decrypts them into the enclave model, restoring the iteration counter.
+
+Timing is split into the phases Table Ia reports: encrypt vs. write for
+saves, read vs. decrypt for restores.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crypto.engine import SEAL_OVERHEAD, EncryptionEngine
+from repro.darknet.network import Network
+from repro.romulus.alloc import PersistentHeap
+from repro.romulus.region import RomulusRegion
+from repro.sgx.enclave import Enclave
+from repro.simtime.profiles import ServerProfile
+
+#: Root-directory slot holding the persistent model.
+MODEL_ROOT = 0
+#: Upper bound on parameter buffers per layer node (Darknet max is 5).
+MAX_BUFFERS = 8
+
+_MODEL_HEADER = struct.Struct("<QQQ")  # iteration, num_layers, head
+_LAYER_FIXED = struct.Struct("<QQ")  # next, num_buffers
+_BUFFER_REF = struct.Struct("<QQ")  # sealed_size, offset
+
+
+@dataclass(frozen=True)
+class MirrorTiming:
+    """Per-phase simulated seconds of one mirror operation."""
+
+    crypto_seconds: float  # encrypt (save) or decrypt (restore)
+    storage_seconds: float  # PM write (save) or PM read (restore)
+
+    @property
+    def total(self) -> float:
+        return self.crypto_seconds + self.storage_seconds
+
+
+class MirrorError(RuntimeError):
+    """Raised for structural mismatches between enclave and PM models."""
+
+
+class MirrorModule:
+    """Synchronizes an enclave model with its encrypted PM mirror."""
+
+    def __init__(
+        self,
+        region: RomulusRegion,
+        heap: PersistentHeap,
+        engine: EncryptionEngine,
+        enclave: Enclave,
+        profile: ServerProfile,
+    ) -> None:
+        self.region = region
+        self.heap = heap
+        self.engine = engine
+        self.enclave = enclave
+        self.profile = profile
+        self.clock = region.device.clock
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def exists(self) -> bool:
+        """Whether a persistent mirror model is present."""
+        return self.region.root(MODEL_ROOT) != 0
+
+    def stored_iteration(self) -> int:
+        """Iteration counter recorded in the PM mirror."""
+        self._require_model()
+        header = self.region.read(self.region.root(MODEL_ROOT), _MODEL_HEADER.size)
+        iteration, _, _ = _MODEL_HEADER.unpack(header)
+        return iteration
+
+    def stored_num_layers(self) -> int:
+        """Number of layer nodes in the PM mirror's linked list."""
+        self._require_model()
+        header = self.region.read(self.region.root(MODEL_ROOT), _MODEL_HEADER.size)
+        _, num_layers, _ = _MODEL_HEADER.unpack(header)
+        return num_layers
+
+    def _require_model(self) -> None:
+        if not self.exists():
+            raise MirrorError("no mirror model allocated on PM")
+
+    def _layer_buffer_plan(self, network: Network):
+        """Per-layer list of (name, nbytes) for layers that have buffers."""
+        plan = []
+        for layer in network.layers:
+            buffers = layer.parameter_buffers()
+            if not buffers:
+                continue
+            if len(buffers) > MAX_BUFFERS:
+                raise MirrorError(
+                    f"layer {layer.kind} has {len(buffers)} buffers; "
+                    f"mirror supports {MAX_BUFFERS}"
+                )
+            plan.append([(name, arr.nbytes) for name, arr in buffers])
+        return plan
+
+    # ------------------------------------------------------------------
+    # Algorithm 3: alloc_mirror_model
+    # ------------------------------------------------------------------
+    def alloc_mirror_model(self, network: Network) -> None:
+        """Allocate the persistent linked-list skeleton for ``network``.
+
+        One transaction allocates the model header, every layer node and
+        every sealed-buffer slot (Algorithm 3); buffer contents are
+        written by the first :meth:`mirror_out`.
+        """
+        if self.exists():
+            raise MirrorError("mirror model already allocated")
+        plan = self._layer_buffer_plan(network)
+        with self.region.begin_transaction() as tx:
+            node_size = _LAYER_FIXED.size + MAX_BUFFERS * _BUFFER_REF.size
+            head = 0
+            prev_node = 0
+            for buffers in plan:
+                node = self.heap.pmalloc(tx, node_size)
+                refs = b""
+                for _, nbytes in buffers:
+                    sealed_size = nbytes + SEAL_OVERHEAD
+                    buf_off = self.heap.pmalloc(tx, sealed_size)
+                    refs += _BUFFER_REF.pack(sealed_size, buf_off)
+                refs = refs.ljust(MAX_BUFFERS * _BUFFER_REF.size, b"\x00")
+                tx.write(node, _LAYER_FIXED.pack(0, len(buffers)) + refs)
+                if prev_node:
+                    tx.write_u64(prev_node, node)  # prev.next = node
+                else:
+                    head = node
+                prev_node = node
+            model = self.heap.pmalloc(tx, _MODEL_HEADER.size)
+            tx.write(model, _MODEL_HEADER.pack(0, len(plan), head))
+            tx.write_u64(self.region.root_offset(MODEL_ROOT), model)
+
+    def free_mirror_model(self) -> None:
+        """Release the mirror (e.g. before re-allocating a new shape)."""
+        self._require_model()
+        model = self.region.root(MODEL_ROOT)
+        with self.region.begin_transaction() as tx:
+            node = self._model_head(model)
+            while node:
+                nxt, nbuf = _LAYER_FIXED.unpack(
+                    self.region.read(node, _LAYER_FIXED.size)
+                )
+                for _, offset in self._buffer_refs(node, nbuf):
+                    self.heap.pmfree(tx, offset)
+                self.heap.pmfree(tx, node)
+                node = nxt
+            self.heap.pmfree(tx, model)
+            tx.write_u64(self.region.root_offset(MODEL_ROOT), 0)
+
+    def _model_head(self, model_offset: int) -> int:
+        header = self.region.read(model_offset, _MODEL_HEADER.size)
+        _, _, head = _MODEL_HEADER.unpack(header)
+        return head
+
+    def _buffer_refs(self, node: int, num_buffers: int):
+        raw = self.region.read(
+            node + _LAYER_FIXED.size, num_buffers * _BUFFER_REF.size
+        )
+        return [
+            _BUFFER_REF.unpack_from(raw, i * _BUFFER_REF.size)
+            for i in range(num_buffers)
+        ]
+
+    # ------------------------------------------------------------------
+    # Algorithm 3: mirror_out / mirror_in
+    # ------------------------------------------------------------------
+    def mirror_out(self, network: Network, iteration: int) -> MirrorTiming:
+        """Encrypt the enclave model and update its PM mirror atomically."""
+        self._require_model()
+        plan = self._layer_buffer_plan(network)
+        if len(plan) != self.stored_num_layers():
+            raise MirrorError(
+                f"enclave model has {len(plan)} parameterized layers, "
+                f"PM mirror has {self.stored_num_layers()}"
+            )
+        crypto = self.profile.crypto
+
+        # Phase 1 — encrypt in the enclave (Table Ia "Encrypt").
+        with self.clock.stopwatch("encrypt") as encrypt_span:
+            sealed_layers = []
+            for layer in network.layers:
+                buffers = layer.parameter_buffers()
+                if not buffers:
+                    continue
+                sealed = []
+                for name, arr in buffers:
+                    plaintext = np.ascontiguousarray(arr, np.float32).tobytes()
+                    # Reading the model out of (possibly paged) EPC memory.
+                    self.enclave.touch(len(plaintext))
+                    self.clock.advance(crypto.encrypt_time(len(plaintext)))
+                    sealed.append(
+                        self.engine.seal(plaintext, aad=name.encode())
+                    )
+                sealed_layers.append(sealed)
+
+        # Phase 2 — write to PM in one durable transaction ("Write").
+        with self.clock.stopwatch("write") as write_span:
+            model = self.region.root(MODEL_ROOT)
+            with self.region.begin_transaction() as tx:
+                _, num_layers, head = _MODEL_HEADER.unpack(
+                    self.region.read(model, _MODEL_HEADER.size)
+                )
+                tx.write(
+                    model, _MODEL_HEADER.pack(iteration, num_layers, head)
+                )
+                node = head
+                for sealed in sealed_layers:
+                    nxt, nbuf = _LAYER_FIXED.unpack(
+                        self.region.read(node, _LAYER_FIXED.size)
+                    )
+                    refs = self._buffer_refs(node, nbuf)
+                    if nbuf != len(sealed):
+                        raise MirrorError(
+                            f"PM layer node has {nbuf} buffers, "
+                            f"enclave layer has {len(sealed)}"
+                        )
+                    for (size, offset), blob in zip(refs, sealed):
+                        if len(blob) != size:
+                            raise MirrorError(
+                                f"sealed buffer is {len(blob)} bytes, "
+                                f"PM slot holds {size}"
+                            )
+                        tx.write(offset, blob)
+                    node = nxt
+        return MirrorTiming(
+            crypto_seconds=encrypt_span.elapsed,
+            storage_seconds=write_span.elapsed,
+        )
+
+    def mirror_in(self, network: Network) -> MirrorTiming:
+        """Restore the enclave model from its PM mirror (decrypt inside).
+
+        Sets ``network.iteration`` to the mirrored counter so training
+        "resumes where it left off".
+        """
+        self._require_model()
+        plan = self._layer_buffer_plan(network)
+        if len(plan) != self.stored_num_layers():
+            raise MirrorError(
+                f"enclave model has {len(plan)} parameterized layers, "
+                f"PM mirror has {self.stored_num_layers()}"
+            )
+        crypto = self.profile.crypto
+        model = self.region.root(MODEL_ROOT)
+        iteration, _, head = _MODEL_HEADER.unpack(
+            self.region.read(model, _MODEL_HEADER.size)
+        )
+
+        # Phase 1 — read sealed buffers from PM into the enclave ("Read").
+        with self.clock.stopwatch("read") as read_span:
+            sealed_layers = []
+            node = head
+            while node:
+                nxt, nbuf = _LAYER_FIXED.unpack(
+                    self.region.read(node, _LAYER_FIXED.size)
+                )
+                blobs = []
+                for size, offset in self._buffer_refs(node, nbuf):
+                    blob = self.region.read(offset, size)
+                    self.enclave.copy_in(size)
+                    blobs.append(blob)
+                sealed_layers.append(blobs)
+                node = nxt
+
+        # Phase 2 — decrypt into the enclave model ("Decrypt").
+        with self.clock.stopwatch("decrypt") as decrypt_span:
+            layer_iter = iter(sealed_layers)
+            for layer in network.layers:
+                buffers = layer.parameter_buffers()
+                if not buffers:
+                    continue
+                blobs = next(layer_iter)
+                if len(blobs) != len(buffers):
+                    raise MirrorError(
+                        f"layer {layer.kind}: {len(buffers)} buffers "
+                        f"expected, {len(blobs)} mirrored"
+                    )
+                for (name, arr), blob in zip(buffers, blobs):
+                    self.clock.advance(
+                        crypto.decrypt_time(len(blob) - SEAL_OVERHEAD)
+                    )
+                    plaintext = self.engine.unseal(blob, aad=name.encode())
+                    layer.set_parameter(
+                        name, np.frombuffer(plaintext, dtype=np.float32)
+                    )
+        network.iteration = iteration
+        return MirrorTiming(
+            crypto_seconds=decrypt_span.elapsed,
+            storage_seconds=read_span.elapsed,
+        )

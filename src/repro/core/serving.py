@@ -1,0 +1,146 @@
+"""Secure inference serving (extension of Section VI, "Secure inference").
+
+The paper demonstrates in-enclave classification of the MNIST test set;
+related work it cites (Chiron, Privado, Occlumency) wraps exactly this
+in an *inference-as-a-service* interface.  This module provides that
+service shape on top of the Plinius stack:
+
+* the model is loaded into the enclave from its encrypted PM mirror;
+* a client remote-attests the enclave, establishes a secure channel,
+  and submits AES-GCM-sealed inputs;
+* predictions return sealed under the same session; the server never
+  sees plaintext images or labels.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.mirror import MirrorModule
+from repro.darknet.network import Network
+from repro.sgx.attestation import QuotingEnclave, SecureChannel, establish_channel
+from repro.sgx.enclave import Enclave
+from repro.sgx.rand import SgxRandom
+
+_REQUEST = struct.Struct("<QQ")  # n_samples, features
+
+
+@dataclass
+class InferenceStats:
+    """Service-side accounting."""
+
+    requests: int = 0
+    samples: int = 0
+
+
+class SecureInferenceService:
+    """An enclave-hosted classifier behind an attested channel."""
+
+    def __init__(
+        self,
+        network: Network,
+        enclave: Enclave,
+        quoting_enclave: QuotingEnclave,
+        input_shape: tuple = (1, 28, 28),
+        mirror: Optional[MirrorModule] = None,
+    ) -> None:
+        self.network = network
+        self.enclave = enclave
+        self.quoting_enclave = quoting_enclave
+        self.input_shape = input_shape
+        self.mirror = mirror
+        self.stats = InferenceStats()
+        self._channel: Optional[SecureChannel] = None
+
+    @classmethod
+    def from_mirror(
+        cls,
+        mirror: MirrorModule,
+        network: Network,
+        enclave: Enclave,
+        quoting_enclave: QuotingEnclave,
+        input_shape: tuple = (1, 28, 28),
+    ) -> "SecureInferenceService":
+        """Load the served model from its encrypted PM mirror."""
+        mirror.mirror_in(network)
+        return cls(
+            network,
+            enclave,
+            quoting_enclave,
+            input_shape=input_shape,
+            mirror=mirror,
+        )
+
+    # ------------------------------------------------------------------
+    def connect(self, client: "InferenceClient") -> None:
+        """Run attestation + channel establishment with a client."""
+        owner_channel, enclave_channel = establish_channel(
+            self.enclave,
+            self.quoting_enclave,
+            expected_measurement=client.expected_measurement,
+            rand_enclave=SgxRandom(b"svc-" + bytes([self.stats.requests % 256])),
+            rand_owner=client.rand,
+        )
+        self._channel = enclave_channel
+        client.attach(owner_channel)
+
+    def handle(self, sealed_request: bytes) -> bytes:
+        """Classify a sealed batch; returns sealed class indices."""
+        if self._channel is None:
+            raise RuntimeError("no client connected — run connect() first")
+        payload = self._channel.receive(sealed_request)
+        n, features = _REQUEST.unpack_from(payload, 0)
+        expected = int(np.prod(self.input_shape))
+        if features != expected:
+            raise ValueError(
+                f"request has {features} features; model expects {expected}"
+            )
+        x = np.frombuffer(
+            payload, dtype=np.float32, count=n * features,
+            offset=_REQUEST.size,
+        ).reshape((n,) + tuple(self.input_shape))
+        probs = self.network.predict(x)
+        predictions = probs.argmax(axis=1).astype(np.int64)
+        self.stats.requests += 1
+        self.stats.samples += int(n)
+        return self._channel.send(predictions.tobytes())
+
+
+class InferenceClient:
+    """The data owner's side of the inference service."""
+
+    def __init__(
+        self, expected_measurement: bytes, seed: int = 1
+    ) -> None:
+        self.expected_measurement = expected_measurement
+        self.rand = SgxRandom(b"client-" + seed.to_bytes(4, "big"))
+        self._channel: Optional[SecureChannel] = None
+
+    def attach(self, channel: SecureChannel) -> None:
+        self._channel = channel
+
+    def seal_request(self, images: np.ndarray) -> bytes:
+        """Seal a batch of images for the service."""
+        if self._channel is None:
+            raise RuntimeError("client not connected")
+        flat = np.ascontiguousarray(
+            images.reshape(len(images), -1), dtype=np.float32
+        )
+        payload = _REQUEST.pack(len(flat), flat.shape[1]) + flat.tobytes()
+        return self._channel.send(payload)
+
+    def open_response(self, sealed: bytes) -> np.ndarray:
+        """Unseal the predicted class indices."""
+        if self._channel is None:
+            raise RuntimeError("client not connected")
+        return np.frombuffer(self._channel.receive(sealed), dtype=np.int64)
+
+    def classify(
+        self, service: SecureInferenceService, images: np.ndarray
+    ) -> np.ndarray:
+        """Round-trip convenience: seal, submit, unseal."""
+        return self.open_response(service.handle(self.seal_request(images)))

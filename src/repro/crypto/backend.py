@@ -1,0 +1,103 @@
+"""Pluggable AEAD backends for the encryption engine.
+
+Two implementations of the same interface:
+
+* :class:`PureBackend` — the from-scratch AES-GCM in this package.
+  Always available; slow (pure Python), intended for verification and as
+  a fallback.
+* :class:`CryptographyBackend` — the host ``cryptography`` wheel
+  (OpenSSL AES-GCM).  Used by default when importable so that the
+  functional experiments (which encrypt megabytes of model weights per
+  mirror operation) run at practical wall-clock speed.
+
+The test suite cross-validates the two backends on random inputs.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Tuple
+
+from repro.crypto import gcm as _gcm
+
+
+class IntegrityError(Exception):
+    """Raised when AEAD authentication fails (tampered or corrupt data)."""
+
+
+class AeadBackend(abc.ABC):
+    """AES-GCM with detached 16-byte tags."""
+
+    name: str
+
+    @abc.abstractmethod
+    def encrypt(
+        self, key: bytes, iv: bytes, plaintext: bytes, aad: bytes = b""
+    ) -> Tuple[bytes, bytes]:
+        """Return ``(ciphertext, tag)``."""
+
+    @abc.abstractmethod
+    def decrypt(
+        self, key: bytes, iv: bytes, ciphertext: bytes, tag: bytes, aad: bytes = b""
+    ) -> bytes:
+        """Return the plaintext; raise :class:`IntegrityError` on tag mismatch."""
+
+
+class PureBackend(AeadBackend):
+    """The from-scratch AES-GCM implementation in :mod:`repro.crypto.gcm`."""
+
+    name = "pure-python"
+
+    def encrypt(
+        self, key: bytes, iv: bytes, plaintext: bytes, aad: bytes = b""
+    ) -> Tuple[bytes, bytes]:
+        return _gcm.gcm_encrypt(key, iv, plaintext, aad)
+
+    def decrypt(
+        self, key: bytes, iv: bytes, ciphertext: bytes, tag: bytes, aad: bytes = b""
+    ) -> bytes:
+        try:
+            return _gcm.gcm_decrypt(key, iv, ciphertext, tag, aad)
+        except ValueError as exc:
+            raise IntegrityError(str(exc)) from exc
+
+
+class CryptographyBackend(AeadBackend):
+    """AES-GCM via the ``cryptography`` wheel (OpenSSL)."""
+
+    name = "cryptography"
+
+    def __init__(self) -> None:
+        from cryptography.hazmat.primitives.ciphers.aead import AESGCM
+
+        self._aesgcm_cls = AESGCM
+
+    def encrypt(
+        self, key: bytes, iv: bytes, plaintext: bytes, aad: bytes = b""
+    ) -> Tuple[bytes, bytes]:
+        sealed = self._aesgcm_cls(key).encrypt(iv, plaintext, aad or None)
+        return sealed[:-16], sealed[-16:]
+
+    def decrypt(
+        self, key: bytes, iv: bytes, ciphertext: bytes, tag: bytes, aad: bytes = b""
+    ) -> bytes:
+        from cryptography.exceptions import InvalidTag
+
+        try:
+            return self._aesgcm_cls(key).decrypt(iv, ciphertext + tag, aad or None)
+        except InvalidTag as exc:
+            raise IntegrityError("GCM authentication tag mismatch") from exc
+
+
+_default: Optional[AeadBackend] = None
+
+
+def default_backend() -> AeadBackend:
+    """The process-wide default backend (fast when available)."""
+    global _default
+    if _default is None:
+        try:
+            _default = CryptographyBackend()
+        except ImportError:
+            _default = PureBackend()
+    return _default

@@ -1,0 +1,115 @@
+"""From-scratch AES-GCM (NIST SP 800-38D).
+
+Implements GHASH over GF(2^128) and the GCM encrypt/decrypt composition
+on top of :class:`repro.crypto.aes.AES`.  This is the reference backend;
+it is exact but slow (pure Python), so the encryption engine prefers the
+host ``cryptography`` wheel when present and uses this module for
+cross-validation and as a dependency-free fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.crypto.aes import AES
+
+_R = 0xE1 << 120  # GCM reduction polynomial (bit-reflected representation)
+_MASK128 = (1 << 128) - 1
+
+
+def _gf_mult(x: int, y: int) -> int:
+    """Multiply two elements of GF(2^128) in GCM's bit order."""
+    z = 0
+    v = x
+    for i in range(127, -1, -1):
+        if (y >> i) & 1:
+            z ^= v
+        if v & 1:
+            v = (v >> 1) ^ _R
+        else:
+            v >>= 1
+    return z
+
+
+def ghash(h: bytes, data: bytes) -> bytes:
+    """GHASH_H over ``data`` (already padded/concatenated by the caller)."""
+    if len(h) != 16:
+        raise ValueError("GHASH subkey must be 16 bytes")
+    if len(data) % 16 != 0:
+        raise ValueError("GHASH input must be a multiple of 16 bytes")
+    h_int = int.from_bytes(h, "big")
+    y = 0
+    for i in range(0, len(data), 16):
+        block = int.from_bytes(data[i : i + 16], "big")
+        y = _gf_mult(y ^ block, h_int)
+    return y.to_bytes(16, "big")
+
+
+def _pad16(data: bytes) -> bytes:
+    rem = len(data) % 16
+    return data if rem == 0 else data + b"\x00" * (16 - rem)
+
+
+def _inc32(block: int) -> int:
+    """Increment the low 32 bits of a 128-bit counter block."""
+    high = block & ~0xFFFFFFFF
+    low = (block + 1) & 0xFFFFFFFF
+    return high | low
+
+
+def _ctr_keystream(cipher: AES, j0: int, nbytes: int) -> bytes:
+    out = bytearray()
+    counter = j0
+    for _ in range((nbytes + 15) // 16):
+        counter = _inc32(counter)
+        out += cipher.encrypt_block(counter.to_bytes(16, "big"))
+    return bytes(out[:nbytes])
+
+
+def _derive_j0(cipher: AES, h: bytes, iv: bytes) -> int:
+    if len(iv) == 12:
+        return int.from_bytes(iv + b"\x00\x00\x00\x01", "big")
+    ghash_in = _pad16(iv) + (8 * len(iv)).to_bytes(16, "big")
+    return int.from_bytes(ghash(h, ghash_in), "big")
+
+
+def _auth_tag(
+    cipher: AES, h: bytes, j0: int, aad: bytes, ciphertext: bytes
+) -> bytes:
+    lengths = (8 * len(aad)).to_bytes(8, "big") + (8 * len(ciphertext)).to_bytes(
+        8, "big"
+    )
+    s = ghash(h, _pad16(aad) + _pad16(ciphertext) + lengths)
+    e_j0 = cipher.encrypt_block(j0.to_bytes(16, "big"))
+    return bytes(a ^ b for a, b in zip(s, e_j0))
+
+
+def gcm_encrypt(
+    key: bytes, iv: bytes, plaintext: bytes, aad: bytes = b""
+) -> Tuple[bytes, bytes]:
+    """AES-GCM encrypt; returns ``(ciphertext, 16-byte tag)``."""
+    cipher = AES(key)
+    h = cipher.encrypt_block(b"\x00" * 16)
+    j0 = _derive_j0(cipher, h, iv)
+    keystream = _ctr_keystream(cipher, j0, len(plaintext))
+    ciphertext = bytes(p ^ k for p, k in zip(plaintext, keystream))
+    tag = _auth_tag(cipher, h, j0, aad, ciphertext)
+    return ciphertext, tag
+
+
+def gcm_decrypt(
+    key: bytes, iv: bytes, ciphertext: bytes, tag: bytes, aad: bytes = b""
+) -> bytes:
+    """AES-GCM decrypt; raises :class:`ValueError` on authentication failure."""
+    cipher = AES(key)
+    h = cipher.encrypt_block(b"\x00" * 16)
+    j0 = _derive_j0(cipher, h, iv)
+    expected = _auth_tag(cipher, h, j0, aad, ciphertext)
+    # Constant-time comparison is moot in a simulation, but keep the habit.
+    diff = 0
+    for a, b in zip(expected, tag):
+        diff |= a ^ b
+    if len(expected) != len(tag) or diff != 0:
+        raise ValueError("GCM authentication tag mismatch")
+    keystream = _ctr_keystream(cipher, j0, len(ciphertext))
+    return bytes(c ^ k for c, k in zip(ciphertext, keystream))

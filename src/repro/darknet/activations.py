@@ -1,0 +1,89 @@
+"""Activation functions with their derivatives (Darknet's vocabulary).
+
+The paper's models use *leaky rectified linear units* (LReLU) in every
+convolutional layer; Darknet's ``leaky`` uses a fixed slope of 0.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+ArrayFn = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class Activation:
+    """An elementwise activation and its derivative.
+
+    ``gradient`` receives the *activated output* (Darknet convention:
+    derivatives are computed from the forward output, which is exact for
+    every activation implemented here).
+    """
+
+    name: str
+    forward: ArrayFn
+    gradient: ArrayFn
+
+
+def _leaky_forward(x: np.ndarray) -> np.ndarray:
+    return np.where(x > 0, x, 0.1 * x)
+
+
+def _leaky_gradient(y: np.ndarray) -> np.ndarray:
+    return np.where(y > 0, 1.0, 0.1).astype(y.dtype)
+
+
+def _relu_forward(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0)
+
+
+def _relu_gradient(y: np.ndarray) -> np.ndarray:
+    return (y > 0).astype(y.dtype)
+
+
+def _linear_forward(x: np.ndarray) -> np.ndarray:
+    return x
+
+
+def _linear_gradient(y: np.ndarray) -> np.ndarray:
+    return np.ones_like(y)
+
+
+def _logistic_forward(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def _logistic_gradient(y: np.ndarray) -> np.ndarray:
+    return y * (1.0 - y)
+
+
+def _tanh_forward(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def _tanh_gradient(y: np.ndarray) -> np.ndarray:
+    return 1.0 - y * y
+
+
+_ACTIVATIONS: Dict[str, Activation] = {
+    a.name: a
+    for a in (
+        Activation("leaky", _leaky_forward, _leaky_gradient),
+        Activation("relu", _relu_forward, _relu_gradient),
+        Activation("linear", _linear_forward, _linear_gradient),
+        Activation("logistic", _logistic_forward, _logistic_gradient),
+        Activation("tanh", _tanh_forward, _tanh_gradient),
+    )
+}
+
+
+def get_activation(name: str) -> Activation:
+    """Look up an activation by its Darknet name."""
+    try:
+        return _ACTIVATIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(_ACTIVATIONS))
+        raise KeyError(f"unknown activation {name!r}; known: {known}") from None

@@ -1,0 +1,65 @@
+"""im2col / col2im — the convolution lowering Darknet uses.
+
+Convolution becomes a single GEMM over an unrolled patch matrix, which
+is both how Darknet implements it in C and the efficient formulation in
+numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Output spatial extent of a convolution along one axis."""
+    return (size + 2 * pad - kernel) // stride + 1
+
+
+def _patch_indices(
+    channels: int, height: int, width: int, kernel: int, stride: int, pad: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    out_h = conv_output_size(height, kernel, stride, pad)
+    out_w = conv_output_size(width, kernel, stride, pad)
+
+    i0 = np.repeat(np.arange(kernel), kernel)
+    i0 = np.tile(i0, channels)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kernel), kernel * channels)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(channels), kernel * kernel).reshape(-1, 1)
+    return k, i, j
+
+
+def im2col(
+    images: np.ndarray, kernel: int, stride: int, pad: int
+) -> np.ndarray:
+    """Unroll ``(N, C, H, W)`` images into ``(C*k*k, N*OH*OW)`` columns."""
+    n, c, h, w = images.shape
+    padded = np.pad(
+        images, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant"
+    )
+    k, i, j = _patch_indices(c, h, w, kernel, stride, pad)
+    cols = padded[:, k, i, j]  # (N, C*k*k, OH*OW)
+    return cols.transpose(1, 2, 0).reshape(c * kernel * kernel, -1)
+
+
+def col2im(
+    cols: np.ndarray,
+    images_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Scatter-add columns back into image space (gradient of im2col)."""
+    n, c, h, w = images_shape
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    k, i, j = _patch_indices(c, h, w, kernel, stride, pad)
+    reshaped = cols.reshape(c * kernel * kernel, -1, n).transpose(2, 0, 1)
+    np.add.at(padded, (slice(None), k, i, j), reshaped)
+    if pad == 0:
+        return padded
+    return padded[:, :, pad:-pad, pad:-pad]

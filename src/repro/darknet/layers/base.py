@@ -1,0 +1,76 @@
+"""The layer interface shared by all Darknet layers.
+
+Two views of a layer's state matter to Plinius:
+
+* ``trainable()`` — (parameter, gradient) pairs the SGD optimizer
+  updates;
+* ``parameter_buffers()`` — *every* persistent parameter array, in a
+  stable order, which is what the mirroring module encrypts to PM.  For
+  a batch-normalized convolutional layer this is the paper's five
+  matrices: weights, biases, scales, rolling mean, rolling variance.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Tuple
+
+import numpy as np
+
+ParamPair = Tuple[np.ndarray, np.ndarray]
+NamedBuffer = Tuple[str, np.ndarray]
+
+
+class Layer(abc.ABC):
+    """Base class for network layers.
+
+    Subclasses must set ``out_shape`` (per-sample output shape) during
+    construction and implement the forward/backward passes.
+    """
+
+    #: Darknet section name, e.g. "convolutional".
+    kind: str = "layer"
+    out_shape: Tuple[int, ...] = ()
+
+    @abc.abstractmethod
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        """Run the layer; ``train`` toggles batch-stat updates/dropout."""
+
+    @abc.abstractmethod
+    def backward(self, delta: np.ndarray) -> np.ndarray:
+        """Back-propagate ``delta``; accumulates parameter gradients."""
+
+    def trainable(self) -> List[ParamPair]:
+        """(parameter, gradient) pairs for the optimizer."""
+        return []
+
+    def parameter_buffers(self) -> List[NamedBuffer]:
+        """All persistent parameter arrays, in mirror order."""
+        return []
+
+    def set_parameter(self, name: str, values: np.ndarray) -> None:
+        """Overwrite one named parameter buffer in place."""
+        for buffer_name, buffer in self.parameter_buffers():
+            if buffer_name == name:
+                if buffer.size != values.size:
+                    raise ValueError(
+                        f"{self.kind}.{name}: size mismatch "
+                        f"{values.size} != {buffer.size}"
+                    )
+                buffer[...] = values.reshape(buffer.shape)
+                return
+        raise KeyError(f"{self.kind} has no parameter {name!r}")
+
+    @property
+    def param_count(self) -> int:
+        """Total number of parameter scalars."""
+        return sum(buf.size for _, buf in self.parameter_buffers())
+
+    @property
+    def param_bytes(self) -> int:
+        """Total parameter footprint in bytes."""
+        return sum(buf.nbytes for _, buf in self.parameter_buffers())
+
+    def flops(self, batch: int) -> float:
+        """Approximate FLOPs of one forward+backward pass."""
+        return 0.0

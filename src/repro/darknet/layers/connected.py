@@ -1,0 +1,74 @@
+"""Fully-connected (Darknet "connected") layer."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.darknet.activations import get_activation
+from repro.darknet.layers.base import Layer, NamedBuffer, ParamPair
+
+
+class ConnectedLayer(Layer):
+    """Dense layer: ``y = act(x W^T + b)``; weights shaped (out, in)."""
+
+    kind = "connected"
+
+    def __init__(
+        self,
+        in_shape: Tuple[int, ...],
+        outputs: int,
+        activation: str = "leaky",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        inputs = int(np.prod(in_shape))
+        self.in_shape = in_shape
+        self.inputs = inputs
+        self.outputs = outputs
+        self.activation = get_activation(activation)
+        self.out_shape = (outputs,)
+
+        rng = rng or np.random.default_rng()
+        scale = np.sqrt(2.0 / inputs)
+        self.weights = (
+            scale * rng.uniform(-1, 1, size=(outputs, inputs))
+        ).astype(np.float32)
+        self.biases = np.zeros(outputs, dtype=np.float32)
+        self.weight_updates = np.zeros_like(self.weights)
+        self.bias_updates = np.zeros_like(self.biases)
+
+        self._x: Optional[np.ndarray] = None
+        self._output: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        flat = x.reshape(x.shape[0], -1)
+        if flat.shape[1] != self.inputs:
+            raise ValueError(
+                f"connected layer expects {self.inputs} inputs, "
+                f"got {flat.shape[1]}"
+            )
+        self._x = flat
+        out = self.activation.forward(flat @ self.weights.T + self.biases)
+        self._output = out
+        return out
+
+    def backward(self, delta: np.ndarray) -> np.ndarray:
+        assert self._x is not None and self._output is not None
+        delta = delta * self.activation.gradient(self._output)
+        self.weight_updates += delta.T @ self._x
+        self.bias_updates += delta.sum(axis=0)
+        d_x = delta @ self.weights
+        return d_x.reshape((delta.shape[0],) + tuple(self.in_shape))
+
+    def trainable(self) -> List[ParamPair]:
+        return [
+            (self.weights, self.weight_updates),
+            (self.biases, self.bias_updates),
+        ]
+
+    def parameter_buffers(self) -> List[NamedBuffer]:
+        return [("weights", self.weights), ("biases", self.biases)]
+
+    def flops(self, batch: int) -> float:
+        return 3 * 2.0 * self.inputs * self.outputs * batch

@@ -1,0 +1,177 @@
+"""Convolutional layer with optional batch normalization (Darknet-style).
+
+The paper's evaluation models are stacks of "LReLU-convolutional"
+layers; Darknet's batch-normalized convolution carries exactly five
+parameter arrays (weights, biases, scales, rolling mean, rolling
+variance), which is where the paper's 140 B of per-layer encryption
+metadata (5 buffers x 28 B) comes from.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.darknet.activations import get_activation
+from repro.darknet.im2col import col2im, conv_output_size, im2col
+from repro.darknet.layers.base import Layer, NamedBuffer, ParamPair
+
+_BN_EPSILON = 1e-5
+_BN_MOMENTUM = 0.9  # rolling stats track the (fast-moving) batch stats
+
+
+class ConvolutionalLayer(Layer):
+    """2-D convolution, optional batchnorm, elementwise activation."""
+
+    kind = "convolutional"
+
+    def __init__(
+        self,
+        in_shape: Tuple[int, int, int],
+        filters: int,
+        kernel: int = 3,
+        stride: int = 1,
+        pad: int = 1,
+        activation: str = "leaky",
+        batch_normalize: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        c, h, w = in_shape
+        out_h = conv_output_size(h, kernel, stride, pad)
+        out_w = conv_output_size(w, kernel, stride, pad)
+        if out_h <= 0 or out_w <= 0:
+            raise ValueError(
+                f"convolution collapses {in_shape} to "
+                f"({filters}, {out_h}, {out_w})"
+            )
+        self.in_shape = in_shape
+        self.filters = filters
+        self.kernel = kernel
+        self.stride = stride
+        self.pad = pad
+        self.batch_normalize = batch_normalize
+        self.activation = get_activation(activation)
+        self.out_shape = (filters, out_h, out_w)
+
+        rng = rng or np.random.default_rng()
+        fan_in = c * kernel * kernel
+        scale = np.sqrt(2.0 / fan_in)  # Darknet's initialization
+        self.weights = (
+            scale * rng.uniform(-1, 1, size=(filters, fan_in))
+        ).astype(np.float32)
+        self.biases = np.zeros(filters, dtype=np.float32)
+        self.weight_updates = np.zeros_like(self.weights)
+        self.bias_updates = np.zeros_like(self.biases)
+        if batch_normalize:
+            self.scales = np.ones(filters, dtype=np.float32)
+            self.scale_updates = np.zeros_like(self.scales)
+            self.rolling_mean = np.zeros(filters, dtype=np.float32)
+            self.rolling_variance = np.ones(filters, dtype=np.float32)
+
+        self._cols: Optional[np.ndarray] = None
+        self._x_shape: Optional[Tuple[int, int, int, int]] = None
+        self._bn_cache: Optional[tuple] = None
+        self._pre_activation: Optional[np.ndarray] = None
+        self._output: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        n = x.shape[0]
+        self._x_shape = x.shape
+        cols = im2col(x, self.kernel, self.stride, self.pad)
+        self._cols = cols
+        f, out_h, out_w = self.out_shape
+        raw = (self.weights @ cols).reshape(f, out_h, out_w, n)
+        raw = raw.transpose(3, 0, 1, 2)  # (N, F, OH, OW)
+
+        if self.batch_normalize:
+            raw = self._batchnorm_forward(raw, train)
+            raw = raw + self.biases.reshape(1, -1, 1, 1)
+        else:
+            raw = raw + self.biases.reshape(1, -1, 1, 1)
+        self._pre_activation = raw
+        out = self.activation.forward(raw)
+        self._output = out
+        return out
+
+    def backward(self, delta: np.ndarray) -> np.ndarray:
+        assert self._cols is not None and self._output is not None
+        delta = delta * self.activation.gradient(self._output)
+
+        # Bias (or batchnorm beta) gradient.
+        self.bias_updates += delta.sum(axis=(0, 2, 3))
+        if self.batch_normalize:
+            delta = self._batchnorm_backward(delta)
+
+        n = delta.shape[0]
+        f = self.filters
+        d_flat = delta.transpose(1, 2, 3, 0).reshape(f, -1)
+        self.weight_updates += d_flat @ self._cols.T
+        d_cols = self.weights.T @ d_flat
+        return col2im(
+            d_cols, self._x_shape, self.kernel, self.stride, self.pad
+        )
+
+    # ------------------------------------------------------------------
+    def _batchnorm_forward(self, x: np.ndarray, train: bool) -> np.ndarray:
+        axes = (0, 2, 3)
+        if train:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            self.rolling_mean[...] = (
+                _BN_MOMENTUM * self.rolling_mean + (1 - _BN_MOMENTUM) * mean
+            )
+            self.rolling_variance[...] = (
+                _BN_MOMENTUM * self.rolling_variance + (1 - _BN_MOMENTUM) * var
+            )
+        else:
+            mean = self.rolling_mean
+            var = self.rolling_variance
+        inv_std = 1.0 / np.sqrt(var + _BN_EPSILON)
+        x_hat = (x - mean.reshape(1, -1, 1, 1)) * inv_std.reshape(1, -1, 1, 1)
+        if train:
+            self._bn_cache = (x_hat, inv_std)
+        return self.scales.reshape(1, -1, 1, 1) * x_hat
+
+    def _batchnorm_backward(self, delta: np.ndarray) -> np.ndarray:
+        assert self._bn_cache is not None
+        x_hat, inv_std = self._bn_cache
+        axes = (0, 2, 3)
+        m = delta.shape[0] * delta.shape[2] * delta.shape[3]
+
+        self.scale_updates += (delta * x_hat).sum(axis=axes)
+        d_xhat = delta * self.scales.reshape(1, -1, 1, 1)
+        # Standard batchnorm gradient, fused form.
+        sum_d = d_xhat.sum(axis=axes).reshape(1, -1, 1, 1)
+        sum_dx = (d_xhat * x_hat).sum(axis=axes).reshape(1, -1, 1, 1)
+        return (
+            inv_std.reshape(1, -1, 1, 1)
+            * (d_xhat - sum_d / m - x_hat * sum_dx / m)
+        )
+
+    # ------------------------------------------------------------------
+    def trainable(self) -> List[ParamPair]:
+        pairs = [
+            (self.weights, self.weight_updates),
+            (self.biases, self.bias_updates),
+        ]
+        if self.batch_normalize:
+            pairs.append((self.scales, self.scale_updates))
+        return pairs
+
+    def parameter_buffers(self) -> List[NamedBuffer]:
+        buffers = [("weights", self.weights), ("biases", self.biases)]
+        if self.batch_normalize:
+            buffers += [
+                ("scales", self.scales),
+                ("rolling_mean", self.rolling_mean),
+                ("rolling_variance", self.rolling_variance),
+            ]
+        return buffers
+
+    def flops(self, batch: int) -> float:
+        f, out_h, out_w = self.out_shape
+        fan_in = self.weights.shape[1]
+        # GEMM forward + two GEMMs backward.
+        return 3 * 2.0 * f * fan_in * out_h * out_w * batch

@@ -1,0 +1,88 @@
+"""Pooling layers: windowed max pooling and Darknet's global avgpool."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.darknet.layers.base import Layer
+
+
+class MaxPoolLayer(Layer):
+    """Max pooling with a square window."""
+
+    kind = "maxpool"
+
+    def __init__(
+        self, in_shape: Tuple[int, int, int], size: int = 2, stride: int = 2
+    ) -> None:
+        c, h, w = in_shape
+        out_h = (h - size) // stride + 1
+        out_w = (w - size) // stride + 1
+        if out_h <= 0 or out_w <= 0:
+            raise ValueError(f"maxpool collapses input {in_shape}")
+        self.in_shape = in_shape
+        self.size = size
+        self.stride = stride
+        self.out_shape = (c, out_h, out_w)
+        self._argmax: Optional[np.ndarray] = None
+        self._x_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        _, out_h, out_w = self.out_shape
+        s, st = self.size, self.stride
+        self._x_shape = x.shape
+
+        out: Optional[np.ndarray] = None
+        argmax: Optional[np.ndarray] = None
+        for idx in range(s * s):
+            di, dj = divmod(idx, s)
+            window = x[
+                :, :, di : di + st * out_h : st, dj : dj + st * out_w : st
+            ]
+            if out is None:
+                out = window.copy()
+                argmax = np.zeros(window.shape, dtype=np.int32)
+            else:
+                mask = window > out
+                np.copyto(out, window, where=mask)
+                np.copyto(argmax, idx, where=mask)
+        assert out is not None and argmax is not None
+        self._argmax = argmax
+        return out
+
+    def backward(self, delta: np.ndarray) -> np.ndarray:
+        assert self._argmax is not None and self._x_shape is not None
+        _, out_h, out_w = self.out_shape
+        s, st = self.size, self.stride
+        dx = np.zeros(self._x_shape, dtype=delta.dtype)
+        for idx in range(s * s):
+            di, dj = divmod(idx, s)
+            mask = self._argmax == idx
+            dx[
+                :, :, di : di + st * out_h : st, dj : dj + st * out_w : st
+            ] += delta * mask
+        return dx
+
+
+class AvgPoolLayer(Layer):
+    """Darknet's ``[avgpool]``: global average over the spatial extent."""
+
+    kind = "avgpool"
+
+    def __init__(self, in_shape: Tuple[int, int, int]) -> None:
+        c, h, w = in_shape
+        self.in_shape = in_shape
+        self.out_shape = (c,)
+        self._spatial = h * w
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        return x.mean(axis=(2, 3))
+
+    def backward(self, delta: np.ndarray) -> np.ndarray:
+        c, h, w = self.in_shape
+        spread = delta.reshape(delta.shape[0], c, 1, 1) / self._spatial
+        return np.broadcast_to(
+            spread, (delta.shape[0], c, h, w)
+        ).astype(delta.dtype).copy()

@@ -1,0 +1,23 @@
+"""Datasets for the reproduction.
+
+The paper trains on MNIST (70,000 grayscale 28x28 handwritten digits:
+60,000 train + 10,000 test).  This package provides a loader for the
+original IDX files *and* a deterministic synthetic generator producing
+an MNIST-shaped digit dataset (glyph bitmaps with affine jitter and
+noise) for offline environments — same tensor shapes, same 10-class
+task, comparable learnability.
+"""
+
+from repro.data.mnist import (
+    load_idx_images,
+    load_idx_labels,
+    synthetic_mnist,
+    to_data_matrix,
+)
+
+__all__ = [
+    "load_idx_images",
+    "load_idx_labels",
+    "synthetic_mnist",
+    "to_data_matrix",
+]

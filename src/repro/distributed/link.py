@@ -1,0 +1,66 @@
+"""Secure inter-enclave links.
+
+Tensors leaving an enclave for another machine's enclave must be sealed:
+a link pairs an AES-GCM engine (keyed by a job key both enclaves obtained
+via attestation) with a NIC cost model.  The transferred bytes are real
+ciphertext — the tests check tensors are never on the wire in plaintext
+and that tampering in flight fails the MAC.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.crypto.engine import EncryptionEngine
+from repro.simtime.clock import SimClock
+
+#: 10 GbE-class interconnect between the secure machines.
+NIC_BANDWIDTH = 1.25 * (1 << 30)  # bytes/second
+NIC_LATENCY = 50e-6  # per message
+
+
+class SecureLink:
+    """A sealed, cost-accounted channel between two enclaves."""
+
+    def __init__(
+        self,
+        engine: EncryptionEngine,
+        clock: SimClock,
+        bandwidth: float = NIC_BANDWIDTH,
+        latency: float = NIC_LATENCY,
+    ) -> None:
+        self.engine = engine
+        self.clock = clock
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.stats = {"messages": 0, "bytes": 0}
+
+    def send_array(self, array: np.ndarray) -> bytes:
+        """Seal a tensor for the wire; returns the ciphertext message."""
+        header = np.array(array.shape, dtype=np.int64).tobytes()
+        payload = (
+            len(array.shape).to_bytes(4, "little")
+            + header
+            + np.ascontiguousarray(array, dtype=np.float32).tobytes()
+        )
+        sealed = self.engine.seal(payload, aad=b"inter-enclave-tensor")
+        self.stats["messages"] += 1
+        self.stats["bytes"] += len(sealed)
+        self.clock.advance(self.latency + len(sealed) / self.bandwidth)
+        return sealed
+
+    def receive_array(self, message: bytes) -> np.ndarray:
+        """Unseal a tensor received from the peer enclave."""
+        payload = self.engine.unseal(message, aad=b"inter-enclave-tensor")
+        ndim = int.from_bytes(payload[:4], "little")
+        shape = tuple(
+            np.frombuffer(payload, dtype=np.int64, count=ndim, offset=4)
+        )
+        data = np.frombuffer(payload, dtype=np.float32, offset=4 + 8 * ndim)
+        return data.reshape(shape).copy()
+
+    def transfer(self, array: np.ndarray) -> np.ndarray:
+        """Send + receive in one step (the common in-process case)."""
+        return self.receive_array(self.send_array(array))

@@ -1,0 +1,34 @@
+"""Secure GPU offload (paper Section VI, "GPU and TPU support").
+
+"Recent works like HIX, Graviton, and Slalom propose techniques to
+securely offload expensive ML computations to GPUs.  Using Darknet's
+CUDA extensions, Plinius can leverage such techniques to improve
+training performance. ... We are exploring possible improvements of
+Plinius in this direction."
+
+This package implements that exploration on the simulated substrate,
+following Slalom's recipe for an *untrusted* accelerator:
+
+* convolution GEMMs run on a :class:`SimulatedGpu` (TFLOP-class cost
+  model, PCIe transfer charges) instead of the single enclave thread;
+* **privacy** — inputs are additively blinded with a secret stream
+  (``X + R``) before leaving the enclave; the enclave unblinds with a
+  precomputed ``W @ R`` term, so the GPU never sees activations;
+* **integrity** — every result is spot-checked with Freivalds'
+  randomized verification (O(n^2) instead of O(n^3)); a cheating GPU is
+  caught with high probability (tested).
+"""
+
+from repro.gpu.device import SimulatedGpu
+from repro.gpu.offload import (
+    GpuIntegrityError,
+    OffloadedConvolution,
+    offload_network,
+)
+
+__all__ = [
+    "SimulatedGpu",
+    "OffloadedConvolution",
+    "offload_network",
+    "GpuIntegrityError",
+]

@@ -1,0 +1,51 @@
+"""A simulated (untrusted) GPU accelerator."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.simtime.clock import SimClock
+
+
+class SimulatedGpu:
+    """Cost-modelled GEMM accelerator with a PCIe link.
+
+    The device is *untrusted*: it sees exactly the bytes handed to it
+    (blinded inputs, plaintext weights under Slalom's model) and its
+    results must be verified.  ``tamper_hook`` lets tests model a
+    malicious or faulty device.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        flops_per_second: float = 8e12,  # mid-range training GPU
+        pcie_bandwidth: float = 12 * (1 << 30),
+        kernel_latency: float = 10e-6,
+    ) -> None:
+        self.clock = clock
+        self.flops_per_second = flops_per_second
+        self.pcie_bandwidth = pcie_bandwidth
+        self.kernel_latency = kernel_latency
+        self.stats = {"kernels": 0, "bytes_transferred": 0}
+        self.tamper_hook: Optional[Callable[[np.ndarray], np.ndarray]] = None
+
+    def transfer(self, nbytes: int) -> None:
+        """Charge a host<->device copy."""
+        self.stats["bytes_transferred"] += nbytes
+        self.clock.advance(nbytes / self.pcie_bandwidth)
+
+    def gemm(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """``a @ b`` on the device (inputs must already be transferred)."""
+        m, k = a.shape
+        _, n = b.shape
+        self.stats["kernels"] += 1
+        self.clock.advance(
+            self.kernel_latency + 2.0 * m * k * n / self.flops_per_second
+        )
+        result = a @ b
+        if self.tamper_hook is not None:
+            result = self.tamper_hook(result)
+        return result

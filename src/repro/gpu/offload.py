@@ -1,0 +1,191 @@
+"""Slalom-style secure convolution offload (inference path).
+
+Slalom [Tramèr & Boneh, ICLR'19] — the scheme the paper cites — offloads
+linear layers of *inference* to an untrusted GPU:
+
+* **blinding**: the enclave adds a secret pre-generated stream ``R`` to
+  the im2col matrix; the GPU computes ``W @ (X + R)`` and the enclave
+  subtracts the precomputed ``W @ R``.  Blind factors are precomputed
+  offline (they depend only on the frozen weights), which is also why
+  the scheme does not extend to training, where weights change every
+  iteration.
+* **verification**: Freivalds' check — for a random ±1 vector ``r``,
+  ``r^T Y == (r^T W) X`` up to float tolerance — costs O(n^2) against
+  the GPU's O(n^3) work and catches a cheating device with probability
+  >= 1/2 per round (amplified by repetition).
+
+Nonlinearities (batchnorm with rolling stats, LReLU, bias) stay in the
+enclave.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.darknet.im2col import im2col
+from repro.darknet.layers.convolutional import ConvolutionalLayer
+from repro.darknet.network import Network
+from repro.gpu.device import SimulatedGpu
+from repro.simtime.costs import ComputeCostModel
+
+_BN_EPSILON = 1e-5
+
+
+class GpuIntegrityError(RuntimeError):
+    """Raised when Freivalds' verification rejects a GPU result."""
+
+
+class OffloadedConvolution:
+    """Inference-only convolution whose GEMM runs on the untrusted GPU."""
+
+    kind = "convolutional-offloaded"
+
+    def __init__(
+        self,
+        layer: ConvolutionalLayer,
+        gpu: SimulatedGpu,
+        compute: ComputeCostModel,
+        rng: Optional[np.random.Generator] = None,
+        freivalds_rounds: int = 2,
+    ) -> None:
+        self.layer = layer
+        self.gpu = gpu
+        self.compute = compute
+        self.rng = rng or np.random.default_rng()
+        self.freivalds_rounds = freivalds_rounds
+        self.out_shape = layer.out_shape
+        self._blinds: List[tuple] = []
+        self._weights_resident = False
+        #: Offline precomputation cost (amortized outside the hot path).
+        self.precompute_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def precompute_blinds(self, cols_shape: tuple, count: int = 1) -> None:
+        """Generate ``count`` (R, W @ R) pairs ahead of time.
+
+        Runs in the enclave offline (idle periods / before deployment);
+        the cost is tracked in :attr:`precompute_seconds` rather than
+        charged to the inference clock, matching Slalom's amortization.
+        """
+        w = self.layer.weights
+        for _ in range(count):
+            r = self.rng.standard_normal(cols_shape).astype(np.float32)
+            wr = w @ r
+            self._blinds.append((r, wr))
+            self.precompute_seconds += self.compute.iteration_time(
+                2.0 * w.shape[0] * w.shape[1] * cols_shape[1]
+            )
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        """Blinded, verified convolution via the GPU."""
+        if train:
+            raise NotImplementedError(
+                "Slalom-style blinding precomputes W @ R against frozen "
+                "weights; training updates W every iteration, so offload "
+                "is inference-only (as in the original scheme)"
+            )
+        layer = self.layer
+        n = x.shape[0]
+        cols = im2col(x, layer.kernel, layer.stride, layer.pad)
+        if not self._blinds or self._blinds[0][0].shape != cols.shape:
+            self._blinds.clear()
+            self.precompute_blinds(cols.shape, count=1)
+        r, wr = self._blinds.pop()
+        self.precompute_blinds(cols.shape, count=1)  # keep the pool warm
+
+        # Blind in the enclave (elementwise, cheap).
+        blinded = cols + r
+        self.compute_charge(cols.size)
+
+        # Ship weights (once) and the blinded input; run the GEMM.
+        if not self._weights_resident:
+            self.gpu.transfer(layer.weights.nbytes)
+            self._weights_resident = True
+        self.gpu.transfer(blinded.nbytes)
+        y_blind = self.gpu.gemm(layer.weights, blinded)
+        self.gpu.transfer(y_blind.nbytes)
+
+        # Verify W @ blinded == y_blind (Freivalds), then unblind.
+        self._verify(layer.weights, blinded, y_blind)
+        raw = y_blind - wr
+        self.compute_charge(raw.size)
+
+        f, out_h, out_w = layer.out_shape
+        raw = raw.reshape(f, out_h, out_w, n).transpose(3, 0, 1, 2)
+
+        # Nonlinear tail stays in the enclave.
+        if layer.batch_normalize:
+            inv_std = 1.0 / np.sqrt(layer.rolling_variance + _BN_EPSILON)
+            raw = (
+                raw - layer.rolling_mean.reshape(1, -1, 1, 1)
+            ) * inv_std.reshape(1, -1, 1, 1)
+            raw = layer.scales.reshape(1, -1, 1, 1) * raw
+        raw = raw + layer.biases.reshape(1, -1, 1, 1)
+        self.compute_charge(3 * raw.size)
+        return layer.activation.forward(raw)
+
+    def compute_charge(self, flops: float) -> None:
+        """Charge elementwise enclave work."""
+        self.gpu.clock.advance(self.compute.iteration_time(flops))
+
+    def _verify(
+        self, w: np.ndarray, x: np.ndarray, y: np.ndarray
+    ) -> None:
+        for _ in range(self.freivalds_rounds):
+            r = self.rng.choice(
+                np.array([-1.0, 1.0], dtype=np.float32), size=w.shape[0]
+            )
+            lhs = r @ y
+            rhs = (r @ w) @ x
+            self.compute_charge(
+                2.0 * (w.shape[0] * w.shape[1] + x.size + y.size)
+            )
+            scale = np.abs(rhs).max() + 1.0
+            if not np.allclose(lhs, rhs, rtol=1e-3, atol=1e-3 * scale):
+                raise GpuIntegrityError(
+                    "GPU result failed Freivalds' verification"
+                )
+
+    def backward(self, delta: np.ndarray) -> np.ndarray:
+        raise NotImplementedError("offloaded layers are inference-only")
+
+
+class _OffloadedNetwork:
+    """Inference view of a network with GPU-offloaded convolutions."""
+
+    def __init__(self, layers: list) -> None:
+        self.layers = layers
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, train=False)
+        return x
+
+
+def offload_network(
+    network: Network,
+    gpu: SimulatedGpu,
+    compute: ComputeCostModel,
+    rng: Optional[np.random.Generator] = None,
+    freivalds_rounds: int = 2,
+) -> _OffloadedNetwork:
+    """Wrap every convolution of ``network`` for GPU inference."""
+    rng = rng or np.random.default_rng()
+    wrapped = []
+    for layer in network.layers:
+        if isinstance(layer, ConvolutionalLayer):
+            wrapped.append(
+                OffloadedConvolution(
+                    layer,
+                    gpu,
+                    compute,
+                    rng=rng,
+                    freivalds_rounds=freivalds_rounds,
+                )
+            )
+        else:
+            wrapped.append(layer)
+    return _OffloadedNetwork(wrapped)

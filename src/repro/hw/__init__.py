@@ -1,0 +1,33 @@
+"""Simulated hardware substrate: persistent memory, SSD, DRAM.
+
+These devices give the reproduction *observable* durability semantics:
+
+* :class:`PersistentMemoryDevice` — byte-addressable persistent memory
+  with a volatile CPU-cache overlay.  A store is durable only after the
+  cache line holding it has been flushed (CLFLUSH / CLFLUSHOPT / CLWB);
+  :meth:`~PersistentMemoryDevice.crash` discards every unflushed store,
+  exactly the failure Romulus' twin-copy protocol must tolerate.
+* :class:`BlockDevice` — an SSD with a volatile write buffer and fsync,
+  used by the disk-checkpointing baseline.
+* :class:`VolatileMemory` — DRAM; loses everything on crash.
+
+All operations charge simulated time to a shared :class:`~repro.simtime.SimClock`
+via the device cost models in the active :class:`~repro.simtime.ServerProfile`.
+"""
+
+from repro.hw.intervals import IntervalSet
+from repro.hw.pmem import FlushInstruction, PersistentMemoryDevice
+from repro.hw.ssd import BlockDevice
+from repro.hw.dram import VolatileMemory
+from repro.hw.fio import FioJob, FioResult, run_fio_job
+
+__all__ = [
+    "IntervalSet",
+    "PersistentMemoryDevice",
+    "FlushInstruction",
+    "BlockDevice",
+    "VolatileMemory",
+    "FioJob",
+    "FioResult",
+    "run_fio_job",
+]

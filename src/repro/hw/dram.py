@@ -1,0 +1,52 @@
+"""Simulated volatile DRAM.
+
+DRAM is where the untrusted runtime stages data (e.g. the volatile data
+matrix that ``sgx-darknet-helper`` loads from disk before it is moved to
+PM).  Its defining property in the paper's failure model is total loss on
+crash — which is why training state kept only in DRAM forces a restart
+from scratch (Fig. 9b / Fig. 10c).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.simtime.clock import SimClock
+from repro.simtime.costs import DeviceCostModel
+
+
+class VolatileMemory:
+    """Named volatile buffers with DRAM-speed cost accounting."""
+
+    def __init__(self, clock: SimClock, cost: DeviceCostModel) -> None:
+        self.clock = clock
+        self.cost = cost
+        self._buffers: Dict[str, bytearray] = {}
+        self.crash_count = 0
+
+    def store(self, name: str, data: bytes) -> None:
+        """Store a buffer under ``name`` (replacing any previous value)."""
+        self._buffers[name] = bytearray(data)
+        self.clock.advance(self.cost.write_time(len(data)))
+
+    def load(self, name: str) -> bytes:
+        """Load the buffer stored under ``name``."""
+        try:
+            data = self._buffers[name]
+        except KeyError:
+            raise KeyError(f"no volatile buffer named {name!r}") from None
+        self.clock.advance(self.cost.read_time(len(data)))
+        return bytes(data)
+
+    def exists(self, name: str) -> bool:
+        """Whether a buffer named ``name`` is resident."""
+        return name in self._buffers
+
+    def discard(self, name: str) -> None:
+        """Free a buffer."""
+        self._buffers.pop(name, None)
+
+    def crash(self) -> None:
+        """Power failure: everything is lost."""
+        self._buffers.clear()
+        self.crash_count += 1

@@ -1,0 +1,119 @@
+"""Coalesced sets of half-open integer intervals.
+
+Dirty-range tracking for the simulated persistent memory device.  Tracking
+dirtiness at range granularity (instead of per cache line) keeps the cost
+of simulating a multi-megabyte ``memcpy`` proportional to the number of
+*distinct* writes, not the number of lines touched.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Tuple
+
+Interval = Tuple[int, int]
+
+
+class IntervalSet:
+    """A set of non-overlapping, non-adjacent half-open intervals ``[a, b)``.
+
+    Maintains the invariant that intervals are sorted and coalesced:
+    adding ``[0, 5)`` then ``[5, 9)`` stores a single ``[0, 9)``.
+    """
+
+    def __init__(self) -> None:
+        self._starts: List[int] = []
+        self._ends: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def __bool__(self) -> bool:
+        return bool(self._starts)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(zip(self._starts, self._ends))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        spans = ", ".join(f"[{a},{b})" for a, b in self)
+        return f"IntervalSet({spans})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._starts == other._starts and self._ends == other._ends
+
+    @property
+    def total(self) -> int:
+        """Total number of integers covered."""
+        return sum(b - a for a, b in self)
+
+    def clear(self) -> None:
+        """Remove every interval."""
+        self._starts.clear()
+        self._ends.clear()
+
+    def copy(self) -> "IntervalSet":
+        """Return an independent copy."""
+        out = IntervalSet()
+        out._starts = list(self._starts)
+        out._ends = list(self._ends)
+        return out
+
+    def add(self, start: int, end: int) -> None:
+        """Add the half-open interval ``[start, end)``, coalescing."""
+        if start >= end:
+            return
+        # Find the window of existing intervals that touch or overlap
+        # [start, end).  An interval [a, b) touches iff a <= end and
+        # b >= start.
+        lo = bisect.bisect_left(self._ends, start)
+        hi = bisect.bisect_right(self._starts, end)
+        if lo < hi:
+            start = min(start, self._starts[lo])
+            end = max(end, self._ends[hi - 1])
+        self._starts[lo:hi] = [start]
+        self._ends[lo:hi] = [end]
+
+    def remove(self, start: int, end: int) -> None:
+        """Remove ``[start, end)`` from the covered set."""
+        if start >= end:
+            return
+        # Window of intervals with strict overlap: a < end and b > start.
+        lo = bisect.bisect_right(self._ends, start)
+        hi = bisect.bisect_left(self._starts, end)
+        if lo >= hi:
+            return
+        replacement_starts: List[int] = []
+        replacement_ends: List[int] = []
+        if self._starts[lo] < start:
+            replacement_starts.append(self._starts[lo])
+            replacement_ends.append(start)
+        if self._ends[hi - 1] > end:
+            replacement_starts.append(end)
+            replacement_ends.append(self._ends[hi - 1])
+        self._starts[lo:hi] = replacement_starts
+        self._ends[lo:hi] = replacement_ends
+
+    def contains(self, point: int) -> bool:
+        """Whether ``point`` is covered by any interval."""
+        idx = bisect.bisect_right(self._starts, point) - 1
+        return idx >= 0 and point < self._ends[idx]
+
+    def overlap(self, start: int, end: int) -> List[Interval]:
+        """Intervals of the intersection with ``[start, end)``."""
+        if start >= end:
+            return []
+        lo = bisect.bisect_right(self._ends, start)
+        hi = bisect.bisect_left(self._starts, end)
+        out: List[Interval] = []
+        for i in range(lo, hi):
+            a = max(self._starts[i], start)
+            b = min(self._ends[i], end)
+            if a < b:
+                out.append((a, b))
+        return out
+
+    def overlap_total(self, start: int, end: int) -> int:
+        """Number of covered integers within ``[start, end)``."""
+        return sum(b - a for a, b in self.overlap(start, end))

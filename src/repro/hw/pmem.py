@@ -1,0 +1,272 @@
+"""Simulated byte-addressable persistent memory with cache semantics.
+
+The device models the persistence rules of real PM platforms (Section II
+of the paper):
+
+* CPU stores land in the (volatile) cache hierarchy.
+* CLFLUSH / CLFLUSHOPT / CLWB evict a cache line to the memory
+  controller's write-pending queue, which is inside the ADR persistence
+  domain — a flushed line survives power failure.
+* SFENCE orders stores/flushes; Romulus' correctness depends on it.
+* :meth:`PersistentMemoryDevice.crash` models a power failure: every
+  store that has not been flushed is discarded.
+
+The simulation keeps two byte images: ``_data`` is the current (cache +
+media) view used by reads, ``_durable`` is the media view restored by a
+crash.  A coalesced :class:`IntervalSet` records which ranges of ``_data``
+are dirty (cached but not yet flushed).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+from repro.hw.intervals import IntervalSet
+from repro.simtime.clock import SimClock
+from repro.simtime.costs import CACHE_LINE, DeviceCostModel
+
+
+class FlushInstruction(enum.Enum):
+    """The persistent write-back instructions Romulus can be built on.
+
+    The paper evaluates ``clflush`` (strongly ordered, paired with a NOP
+    instead of a fence) and ``clflushopt`` (weakly ordered, requires
+    SFENCE); the servers used lack ``clwb`` support, which we include for
+    completeness.
+    """
+
+    CLFLUSH = "clflush"
+    CLFLUSHOPT = "clflushopt"
+    CLWB = "clwb"
+
+    @property
+    def needs_fence(self) -> bool:
+        """Whether the instruction must be ordered by an explicit SFENCE."""
+        return self is not FlushInstruction.CLFLUSH
+
+
+class PersistentMemoryDevice:
+    """A simulated PM module (or the Ramdisk emulating one).
+
+    Parameters
+    ----------
+    size:
+        Capacity in bytes.
+    clock:
+        Shared simulated clock to charge operation costs to.
+    cost:
+        Device cost model (bandwidths/latencies).
+    clflush_cost, clflushopt_cost, sfence_cost, store_cost, load_cost:
+        Micro-operation costs used by flush/fence accounting (taken from
+        the active :class:`~repro.simtime.ServerProfile`).
+    """
+
+    def __init__(
+        self,
+        size: int,
+        clock: SimClock,
+        cost: DeviceCostModel,
+        *,
+        clflush_cost: float = 100e-9,
+        clflushopt_cost: float = 25e-9,
+        sfence_cost: float = 30e-9,
+        store_cost: float = 6e-9,
+        load_cost: float = 4e-9,
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"device size must be positive, got {size}")
+        self.size = size
+        self.clock = clock
+        self.cost = cost
+        self.clflush_cost = clflush_cost
+        self.clflushopt_cost = clflushopt_cost
+        self.sfence_cost = sfence_cost
+        self.store_cost = store_cost
+        self.load_cost = load_cost
+        self._data = bytearray(size)
+        self._durable = bytearray(size)
+        self._dirty = IntervalSet()
+        # Ranges resident in the CPU cache hierarchy: reads of hot data
+        # pay cache cost, not PM media latency/bandwidth.  Crashes (and
+        # explicit drop_caches) leave the cache cold, which is what makes
+        # post-crash restores pay full PM read cost.
+        self._hot = IntervalSet()
+        self.cache_read_bandwidth = 20 * (1 << 30)
+        self.cache_write_bandwidth = 20 * (1 << 30)
+        self.crash_count = 0
+        self.stats = {
+            "stores": 0,
+            "loads": 0,
+            "flushes": 0,
+            "fences": 0,
+            # Bytes actually written back to the PM media — the
+            # write-amplification numerator (logical bytes / media bytes).
+            "media_bytes": 0,
+        }
+        #: Optional fault-injection hook called before every mutating
+        #: operation with its name ("store"/"flush"/"fence").  Crash-point
+        #: property tests raise from here to crash mid-protocol.
+        self.fault_hook: Optional[Callable[[str], None]] = None
+
+    def _fault(self, op: str) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(op)
+
+    # ------------------------------------------------------------------
+    # Access path
+    # ------------------------------------------------------------------
+    def _check_range(self, addr: int, length: int) -> None:
+        if addr < 0 or length < 0 or addr + length > self.size:
+            raise IndexError(
+                f"PM access [{addr}, {addr + length}) out of bounds "
+                f"(device size {self.size})"
+            )
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Store ``data`` at ``addr`` — volatile until flushed."""
+        self._fault("store")
+        self._check_range(addr, len(data))
+        if not data:
+            return
+        self._data[addr : addr + len(data)] = data
+        self._dirty.add(addr, addr + len(data))
+        self._hot.add(addr, addr + len(data))
+        self.stats["stores"] += 1
+        # Stores land in the cache hierarchy: cache-speed cost.  The PM
+        # media write bandwidth is charged when the lines are flushed.
+        self.clock.advance(
+            self.store_cost + len(data) / self.cache_write_bandwidth
+        )
+
+    def read(self, addr: int, length: int) -> bytes:
+        """Load ``length`` bytes from ``addr`` (sees cached stores).
+
+        Cache-hot ranges (recently written or read) cost cache accesses;
+        cold ranges pay PM media latency and bandwidth.
+        """
+        self._check_range(addr, length)
+        self.stats["loads"] += 1
+        hot = self._hot.overlap_total(addr, addr + length) if length else 0
+        cold = length - hot
+        cost = self.load_cost + hot / self.cache_read_bandwidth
+        if cold > 0:
+            cost += self.cost.read_latency + cold / self.cost.read_bandwidth
+            self._hot.add(addr, addr + length)
+        self.clock.advance(cost)
+        return bytes(self._data[addr : addr + length])
+
+    def drop_caches(self) -> None:
+        """Evict the (simulated) CPU cache: subsequent reads are cold.
+
+        Benchmarks call this between a save and a restore measurement so
+        the restore pays true PM read cost, as it would after a reboot.
+        """
+        self._hot.clear()
+
+    # ------------------------------------------------------------------
+    # Persistence path
+    # ------------------------------------------------------------------
+    def flush(
+        self,
+        addr: int,
+        length: int,
+        instruction: FlushInstruction = FlushInstruction.CLFLUSHOPT,
+    ) -> int:
+        """Flush the cache lines covering ``[addr, addr+length)``.
+
+        Returns the number of dirty cache lines that were actually
+        written back.  Clean lines still pay the flush-instruction cost
+        (as on real hardware for CLFLUSH/CLFLUSHOPT, which evict
+        unconditionally).
+        """
+        self._fault("flush")
+        self._check_range(addr, length)
+        if length == 0:
+            return 0
+        line_start = (addr // CACHE_LINE) * CACHE_LINE
+        line_end = -(-(addr + length) // CACHE_LINE) * CACHE_LINE
+        line_end = min(line_end, self.size)
+        nlines = (line_end - line_start) // CACHE_LINE
+
+        dirty_bytes = self._dirty.overlap_total(line_start, line_end)
+        for a, b in self._dirty.overlap(line_start, line_end):
+            self._durable[a:b] = self._data[a:b]
+        self._dirty.remove(line_start, line_end)
+
+        per_line = (
+            self.clflush_cost
+            if instruction is FlushInstruction.CLFLUSH
+            else self.clflushopt_cost
+        )
+        self.stats["flushes"] += nlines
+        self.stats["media_bytes"] += dirty_bytes
+        # Per-line instruction cost plus the media write for dirty bytes.
+        self.clock.advance(
+            nlines * per_line + dirty_bytes / self.cost.write_bandwidth
+        )
+        dirty_lines = -(-dirty_bytes // CACHE_LINE) if dirty_bytes else 0
+        return dirty_lines
+
+    def fence(self) -> None:
+        """SFENCE: order preceding flushes (cost only; flushes here are
+        already modelled as immediately reaching the ADR domain)."""
+        self._fault("fence")
+        self.stats["fences"] += 1
+        self.clock.advance(self.sfence_cost)
+
+    def persist(
+        self,
+        addr: int,
+        length: int,
+        instruction: FlushInstruction = FlushInstruction.CLFLUSHOPT,
+    ) -> None:
+        """Flush + (fence if the instruction requires it) — a full PWB."""
+        self.flush(addr, length, instruction)
+        if instruction.needs_fence:
+            self.fence()
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Power failure: discard every store not yet flushed."""
+        self._data[:] = self._durable
+        self._dirty.clear()
+        self._hot.clear()
+        self.crash_count += 1
+
+    @property
+    def dirty_bytes(self) -> int:
+        """Bytes currently at risk (stored but not flushed)."""
+        return self._dirty.total
+
+    def durable_read(self, addr: int, length: int) -> bytes:
+        """Read the media view (what a crash would preserve).
+
+        Test/diagnostic API — real software cannot observe this
+        distinction without actually crashing.
+        """
+        self._check_range(addr, length)
+        return bytes(self._durable[addr : addr + length])
+
+    def snapshot(self) -> Optional[bytes]:
+        """Durable image of the whole device (for spot-simulator hand-off)."""
+        return bytes(self._durable)
+
+    def load_image(self, image: bytes) -> None:
+        """Overwrite the device with a previously captured image.
+
+        This models the *replay attack* the threat model's privileged
+        adversary can mount on any persistent medium: present an old but
+        internally consistent PM state.  Rollback protection
+        (:mod:`repro.core.freshness`) exists to defeat exactly this.
+        """
+        if len(image) != self.size:
+            raise ValueError(
+                f"image is {len(image)} bytes, device is {self.size}"
+            )
+        self._durable[:] = image
+        self._data[:] = image
+        self._dirty.clear()
+        self._hot.clear()

@@ -1,0 +1,30 @@
+"""minitf — a second, structurally different ML framework.
+
+Section IV ("Integration with different ML libraries"): "To validate the
+generality of our architecture, we applied our mirroring mechanism
+within Tensorflow ... Our implementation creates mirror copies of
+tensors in PM and restores them in enclave memory using Plinius's
+mirroring mechanism."
+
+This package plays TensorFlow's role in that validation: a small
+define-by-run autograd framework whose state lives in named
+:class:`Variable` tensors (nothing like Darknet's layer structs).  The
+adapter in :mod:`repro.minitf.mirroring` exposes those variables through
+the layer-buffer protocol, and the *unchanged*
+:class:`~repro.core.MirrorModule` mirrors them to PM — the same
+architectural point the paper makes.
+"""
+
+from repro.minitf.autograd import Tape, Tensor, Variable
+from repro.minitf import ops
+from repro.minitf.model import MlpClassifier
+from repro.minitf.mirroring import VariableMirrorAdapter
+
+__all__ = [
+    "Tensor",
+    "Variable",
+    "Tape",
+    "ops",
+    "MlpClassifier",
+    "VariableMirrorAdapter",
+]

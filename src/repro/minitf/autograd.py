@@ -1,0 +1,56 @@
+"""Tape-based reverse-mode autograd over named tensors."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+
+class Tensor:
+    """A value in the computation graph, with an accumulated gradient."""
+
+    def __init__(self, value: np.ndarray) -> None:
+        self.value = np.asarray(value, dtype=np.float32)
+        self.grad = np.zeros_like(self.value)
+
+    @property
+    def shape(self) -> tuple:
+        return self.value.shape
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tensor(shape={self.value.shape})"
+
+
+class Variable(Tensor):
+    """A trainable, named tensor (the unit the mirror adapter exposes)."""
+
+    def __init__(self, name: str, value: np.ndarray) -> None:
+        super().__init__(value)
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Variable({self.name!r}, shape={self.value.shape})"
+
+
+class Tape:
+    """Records backward closures during a forward pass."""
+
+    def __init__(self) -> None:
+        self._backward_ops: List[Callable[[], None]] = []
+
+    def record(self, backward: Callable[[], None]) -> None:
+        """Register the gradient step of one operation."""
+        self._backward_ops.append(backward)
+
+    def backward(self, loss: Tensor, seed: Optional[np.ndarray] = None) -> None:
+        """Run the tape in reverse, seeding ``loss.grad``."""
+        loss.grad = (
+            np.ones_like(loss.value) if seed is None else seed.astype(np.float32)
+        )
+        for op in reversed(self._backward_ops):
+            op()
+        self._backward_ops.clear()

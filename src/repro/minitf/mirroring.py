@@ -1,0 +1,70 @@
+"""Adapter: mirror minitf variables with the unchanged MirrorModule.
+
+The mirroring module's contract is structural: an object with ``layers``
+(each exposing ``parameter_buffers()`` / ``set_parameter``) and an
+``iteration`` attribute.  This adapter groups a model's variables into
+pseudo-layers of up to :data:`~repro.core.mirror.MAX_BUFFERS` tensors —
+exactly how the paper's TensorFlow integration treated tensor objects —
+so ``MirrorModule.alloc_mirror_model / mirror_out / mirror_in`` work on
+minitf models without a line of change.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.mirror import MAX_BUFFERS
+from repro.darknet.layers.base import NamedBuffer
+from repro.minitf.model import MlpClassifier
+
+
+class _VariableGroup:
+    """A pseudo-layer wrapping a handful of variables."""
+
+    kind = "tensor-group"
+
+    def __init__(self, variables: list) -> None:
+        self._variables = variables
+
+    def parameter_buffers(self) -> List[NamedBuffer]:
+        return [(v.name, v.value) for v in self._variables]
+
+    def set_parameter(self, name: str, values: np.ndarray) -> None:
+        for variable in self._variables:
+            if variable.name == name:
+                variable.value[...] = values.reshape(variable.value.shape)
+                return
+        raise KeyError(f"no variable named {name!r} in this group")
+
+    @property
+    def param_bytes(self) -> int:
+        return sum(v.value.nbytes for v in self._variables)
+
+
+class VariableMirrorAdapter:
+    """Duck-types a minitf model as a mirrorable network."""
+
+    def __init__(self, model: MlpClassifier, group_size: int = MAX_BUFFERS):
+        if not 1 <= group_size <= MAX_BUFFERS:
+            raise ValueError(
+                f"group size must be in 1..{MAX_BUFFERS}, got {group_size}"
+            )
+        self.model = model
+        self.layers = [
+            _VariableGroup(model.variables[i : i + group_size])
+            for i in range(0, len(model.variables), group_size)
+        ]
+
+    @property
+    def iteration(self) -> int:
+        return self.model.iteration
+
+    @iteration.setter
+    def iteration(self, value: int) -> None:
+        self.model.iteration = value
+
+    @property
+    def param_bytes(self) -> int:
+        return self.model.param_bytes

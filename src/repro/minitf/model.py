@@ -1,0 +1,81 @@
+"""A minitf MLP classifier (the "TensorFlow model" of the generality test)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.minitf import ops
+from repro.minitf.autograd import Tape, Tensor, Variable
+
+
+class MlpClassifier:
+    """Dense ReLU network whose state is a flat list of named variables."""
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int] = (784, 128, 10),
+        learning_rate: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least input and output sizes")
+        rng = rng or np.random.default_rng()
+        self.layer_sizes = tuple(layer_sizes)
+        self.learning_rate = learning_rate
+        self.variables: List[Variable] = []
+        for i, (fan_in, fan_out) in enumerate(
+            zip(layer_sizes, layer_sizes[1:])
+        ):
+            scale = np.sqrt(2.0 / fan_in)
+            self.variables.append(
+                Variable(
+                    f"dense_{i}/kernel",
+                    scale * rng.standard_normal((fan_in, fan_out)),
+                )
+            )
+            self.variables.append(
+                Variable(f"dense_{i}/bias", np.zeros(fan_out))
+            )
+        self.iteration = 0
+
+    # ------------------------------------------------------------------
+    def forward(self, tape: Tape, x: np.ndarray) -> Tensor:
+        """Logits for a batch."""
+        activation = Tensor(x)
+        n_layers = len(self.variables) // 2
+        for i in range(n_layers):
+            kernel = self.variables[2 * i]
+            bias = self.variables[2 * i + 1]
+            activation = ops.add_bias(
+                tape, ops.matmul(tape, activation, kernel), bias
+            )
+            if i < n_layers - 1:
+                activation = ops.relu(tape, activation)
+        return activation
+
+    def train_batch(self, x: np.ndarray, one_hot: np.ndarray) -> float:
+        """One SGD iteration; returns the loss."""
+        for variable in self.variables:
+            variable.zero_grad()
+        tape = Tape()
+        logits = self.forward(tape, x)
+        loss = ops.softmax_cross_entropy(tape, logits, one_hot)
+        tape.backward(loss)
+        for variable in self.variables:
+            variable.value -= self.learning_rate * variable.grad
+        self.iteration += 1
+        return float(loss.value)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class indices."""
+        return self.forward(Tape(), x).value.argmax(axis=1)
+
+    def accuracy(self, x: np.ndarray, labels: np.ndarray) -> float:
+        """Top-1 accuracy."""
+        return float((self.predict(x) == labels).mean())
+
+    @property
+    def param_bytes(self) -> int:
+        return sum(v.value.nbytes for v in self.variables)

@@ -1,0 +1,61 @@
+"""Differentiable operations for minitf."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.minitf.autograd import Tape, Tensor
+
+
+def matmul(tape: Tape, a: Tensor, b: Tensor) -> Tensor:
+    """``a @ b`` with gradients for both operands."""
+    out = Tensor(a.value @ b.value)
+
+    def backward() -> None:
+        a.grad += out.grad @ b.value.T
+        b.grad += a.value.T @ out.grad
+
+    tape.record(backward)
+    return out
+
+
+def add_bias(tape: Tape, x: Tensor, bias: Tensor) -> Tensor:
+    """Row-broadcast bias addition."""
+    out = Tensor(x.value + bias.value)
+
+    def backward() -> None:
+        x.grad += out.grad
+        bias.grad += out.grad.sum(axis=0)
+
+    tape.record(backward)
+    return out
+
+
+def relu(tape: Tape, x: Tensor) -> Tensor:
+    """Elementwise max(x, 0)."""
+    out = Tensor(np.maximum(x.value, 0))
+
+    def backward() -> None:
+        x.grad += out.grad * (x.value > 0)
+
+    tape.record(backward)
+    return out
+
+
+def softmax_cross_entropy(
+    tape: Tape, logits: Tensor, one_hot: np.ndarray
+) -> Tensor:
+    """Mean softmax cross-entropy against one-hot labels."""
+    shifted = logits.value - logits.value.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    n = logits.value.shape[0]
+    loss = Tensor(
+        np.array(-(one_hot * np.log(probs + 1e-9)).sum() / n)
+    )
+
+    def backward() -> None:
+        logits.grad += (probs - one_hot) / n * loss.grad
+
+    tape.record(backward)
+    return loss

@@ -1,0 +1,132 @@
+"""SPS — the swaps-per-second PM-library benchmark (paper Fig. 6).
+
+SPS "stores an array of integers in PM and evaluates the overhead of
+randomly swapping array values within a transaction, for different
+persistence fences and transaction sizes" on a 10 MB persistent array,
+single-threaded.  The paper sweeps transaction sizes 1..2048 swaps for
+three hosting runtimes (native, Romulus-in-SCONE, SGX-Romulus) and two
+PWB combinations (CLFLUSH + NOP, CLFLUSHOPT + SFENCE).
+
+The swaps run for real through :class:`Transaction` on a simulated PM
+device whose micro-costs are scaled by the runtime profile; throughput
+is total swaps divided by elapsed *simulated* time.  Determinism makes a
+bounded number of transactions sufficient for an exact estimate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.hw.pmem import FlushInstruction, PersistentMemoryDevice
+from repro.romulus.alloc import PersistentHeap
+from repro.romulus.region import HEADER_SIZE, RomulusRegion
+from repro.romulus.runtime import RuntimeProfile
+from repro.simtime.clock import SimClock
+from repro.simtime.profiles import ServerProfile
+
+_INT_SIZE = 8
+
+
+@dataclass(frozen=True)
+class SpsConfig:
+    """Parameters of one SPS run."""
+
+    array_bytes: int = 10 * 1024 * 1024  # the paper's 10 MB array
+    tx_size: int = 64  # swaps per transaction
+    target_swaps: int = 4096  # enough transactions for a stable estimate
+    flush_instruction: FlushInstruction = FlushInstruction.CLFLUSHOPT
+    seed: int = 42
+
+
+@dataclass(frozen=True)
+class SpsResult:
+    """Outcome of one SPS run."""
+
+    runtime: str
+    tx_size: int
+    flush_instruction: str
+    swaps: int
+    transactions: int
+    sim_seconds: float
+
+    @property
+    def swaps_per_second(self) -> float:
+        """The Fig. 6 metric."""
+        return self.swaps / self.sim_seconds
+
+
+def _scaled_device(
+    profile: ServerProfile, runtime: RuntimeProfile, size: int, clock: SimClock
+) -> PersistentMemoryDevice:
+    """A PM device whose micro-costs reflect the hosting runtime.
+
+    Flush and fence instructions inside an enclave run 1.6-3.7x slower
+    than native (the paper's measurement for SGX-Romulus); loads/stores
+    on enclave-resident data pay the MEE tax.
+    """
+    return PersistentMemoryDevice(
+        size,
+        clock,
+        profile.pm,
+        clflush_cost=profile.clflush_cost * runtime.fence_multiplier,
+        clflushopt_cost=profile.clflushopt_cost * runtime.fence_multiplier,
+        sfence_cost=profile.sfence_cost,
+        store_cost=profile.store_cost * runtime.memory_multiplier,
+        load_cost=profile.load_cost * runtime.memory_multiplier,
+    )
+
+
+def run_sps(
+    profile: ServerProfile,
+    runtime: RuntimeProfile,
+    config: SpsConfig = SpsConfig(),
+) -> SpsResult:
+    """Run SPS under ``runtime`` on ``profile``'s PM; returns throughput."""
+    if config.tx_size < 1:
+        raise ValueError(f"tx_size must be >= 1, got {config.tx_size}")
+    clock = SimClock()
+    device_size = HEADER_SIZE + 2 * (config.array_bytes + 4096)
+    device = _scaled_device(profile, runtime, device_size, clock)
+    region = RomulusRegion(
+        device,
+        config.array_bytes + 4096,
+        flush_instruction=config.flush_instruction,
+        runtime=runtime,
+    ).format()
+    heap = PersistentHeap(region)
+
+    n_ints = config.array_bytes // _INT_SIZE
+    with region.begin_transaction() as tx:
+        array = heap.pmalloc(tx, config.array_bytes)
+        # Initialize a recognizable pattern in bulk (identity permutation).
+        init = b"".join(
+            i.to_bytes(_INT_SIZE, "little") for i in range(min(n_ints, 4096))
+        )
+        for chunk_start in range(0, config.array_bytes, len(init)):
+            chunk = init[: min(len(init), config.array_bytes - chunk_start)]
+            tx.write(array + chunk_start, chunk)
+
+    rng = random.Random(config.seed)
+    n_tx = max(8, -(-config.target_swaps // config.tx_size))
+    start = clock.now()
+    swaps = 0
+    for _ in range(n_tx):
+        with region.begin_transaction() as tx:
+            for _ in range(config.tx_size):
+                i = rng.randrange(n_ints)
+                j = rng.randrange(n_ints)
+                a = tx.read(array + i * _INT_SIZE, _INT_SIZE)
+                b = tx.read(array + j * _INT_SIZE, _INT_SIZE)
+                tx.write(array + i * _INT_SIZE, b)
+                tx.write(array + j * _INT_SIZE, a)
+                swaps += 1
+    elapsed = clock.now() - start
+    return SpsResult(
+        runtime=runtime.name,
+        tx_size=config.tx_size,
+        flush_instruction=config.flush_instruction.value,
+        swaps=swaps,
+        transactions=n_tx,
+        sim_seconds=elapsed,
+    )

@@ -1,0 +1,167 @@
+"""Durable Romulus transactions — at most four persistence fences.
+
+Fence budget per transaction (CLFLUSHOPT + SFENCE mode):
+
+1. **begin** — persist ``state = MUTATING``.  Must be durable before any
+   main modification becomes durable, otherwise recovery would trust a
+   half-mutated main.
+2. **commit, step A** — one fence ordering all the per-store interposed
+   flushes of main (the ``persist<>`` wrapper flushed each store
+   eagerly; only the ordering point is paid here).
+3. **commit, step B** — persist ``state = COPYING`` (flush + the fence
+   counted here), then copy every logged range from main to back with
+   interposed flushes, then one fence ordering those flushes (fence 4).
+4. **commit, step C** — write ``state = IDLE`` and flush it *without* a
+   fence: if the IDLE store is not yet durable at a crash, recovery
+   finds COPYING and harmlessly re-copies a consistent main over back.
+   The next transaction's begin-fence orders it.
+
+In CLFLUSH + NOP mode the flush instruction is itself ordered, so every
+fence degenerates to a NOP — the second persistence-combination the
+paper evaluates in Fig. 6.
+
+Aborts restore the logged ranges of main from back and return to IDLE.
+"""
+
+from __future__ import annotations
+
+from types import TracebackType
+from typing import Optional, Type
+
+from repro.romulus.log import VolatileLog
+from repro.romulus.region import RegionState, RomulusRegion
+
+
+class TransactionError(RuntimeError):
+    """Raised on misuse (nested transactions, writes outside one, ...)."""
+
+
+class Transaction:
+    """A single durable transaction over a :class:`RomulusRegion`.
+
+    Usable as a context manager: commits on clean exit, aborts if the
+    body raised.
+    """
+
+    def __init__(self, region: RomulusRegion) -> None:
+        if region.active_transaction:
+            raise TransactionError("Romulus transactions cannot nest")
+        self.region = region
+        self.log = VolatileLog()
+        self._open = True
+        region.active_transaction = True
+        region.device.clock.advance(region.runtime.per_tx_overhead)
+        # Fence 1: MUTATING must be durable before mutations are.
+        region.set_state(RegionState.MUTATING)
+
+    # ------------------------------------------------------------------
+    def write(self, offset: int, data: bytes) -> None:
+        """Interposed store: write main, flush the lines, log the range."""
+        self._check_open()
+        self.region._check_offset(offset, len(data))
+        if not data:
+            return
+        device = self.region.device
+        device.write(self.region.main_base + offset, data)
+        # persist<> interposition: eager flush, no fence.
+        device.flush(
+            self.region.main_base + offset,
+            len(data),
+            self.region.flush_instruction,
+        )
+        self._charge_memory_overhead(len(data))
+        self.log.record(offset, len(data))
+        self._charge_log_spill()
+
+    def write_u64(self, offset: int, value: int) -> None:
+        """Interposed store of a little-endian u64."""
+        self.write(offset, value.to_bytes(8, "little"))
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Read through the transaction (main holds in-place updates)."""
+        self._check_open()
+        return self.region.read(offset, length)
+
+    # ------------------------------------------------------------------
+    def commit(self) -> None:
+        """Make the transaction durable (fences 2-4 of the protocol)."""
+        self._check_open()
+        region = self.region
+        device = region.device
+        instr = region.flush_instruction
+
+        # Fence 2: order all interposed flushes of main.
+        if instr.needs_fence:
+            region.fence()
+        # Fence 3: main is durable and consistent -> advertise COPYING.
+        region.set_state(RegionState.COPYING)
+        # Copy modified ranges main -> back, with interposed flushes.
+        for start, end in self.log.ranges():
+            data = device.read(region.main_base + start, end - start)
+            device.write(region.back_base + start, data)
+            device.flush(region.back_base + start, end - start, instr)
+            self._charge_memory_overhead(end - start)
+        # Fence 4: order the back flushes before IDLE can become durable.
+        if instr.needs_fence:
+            region.fence()
+        # IDLE flushed but unfenced: crash here recovers as COPYING,
+        # which re-copies a consistent main — safe and idempotent.
+        region.set_state(RegionState.IDLE, fence=False)
+        self._close()
+
+    def abort(self) -> None:
+        """Roll main back from the back twin for every logged range."""
+        self._check_open()
+        region = self.region
+        device = region.device
+        instr = region.flush_instruction
+        for start, end in self.log.ranges():
+            snapshot = device.read(region.back_base + start, end - start)
+            device.write(region.main_base + start, snapshot)
+            device.flush(region.main_base + start, end - start, instr)
+        if instr.needs_fence:
+            region.fence()
+        region.set_state(RegionState.IDLE)
+        self._close()
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        if not self._open:
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if not self._open:
+            raise TransactionError("transaction already committed or aborted")
+
+    def _close(self) -> None:
+        self._open = False
+        self.region.active_transaction = False
+        self.log.clear()
+
+    def _charge_memory_overhead(self, nbytes: int) -> None:
+        runtime = self.region.runtime
+        extra = runtime.memory_multiplier - 1.0
+        if extra > 0:
+            device = self.region.device
+            device.clock.advance(extra * nbytes / device.cost.write_bandwidth)
+
+    def _charge_log_spill(self) -> None:
+        runtime = self.region.runtime
+        if (
+            runtime.log_capacity is not None
+            and self.log.entries > runtime.log_capacity
+        ):
+            self.region.device.clock.advance(runtime.log_spill_cost)

@@ -1,0 +1,232 @@
+"""Undo-log durable transactions — the ablation baseline for Romulus.
+
+Romulus' pitch (Section II) is "at most four persistence fences for
+atomic updates on data structures, regardless of transaction size" and
+"low write amplification relative to other PM libraries".  To make that
+design choice measurable, this module implements the classic alternative
+— a **persistent undo log** — over the same simulated PM device:
+
+* before each in-place store, the *old* value is appended to a log in
+  PM, flushed, and **fenced** (the undo record must be durable before
+  the data write can be) — one fence per store;
+* commit truncates the log (persist the empty log head, one more fence);
+* recovery applies un-truncated undo records in reverse.
+
+Per transaction of N stores the undo log pays N+1 fences and writes each
+modified byte to the media *twice* plus log headers — strictly worse
+than Romulus' 4 fences and main+back double-write for multi-store
+transactions, which is exactly what ``benchmarks/bench_ablation_pm_log.py``
+quantifies.
+"""
+
+from __future__ import annotations
+
+import struct
+from types import TracebackType
+from typing import Optional, Type
+
+from repro.hw.pmem import FlushInstruction, PersistentMemoryDevice
+
+MAGIC = b"UNDOLOG1"
+_HEADER_SIZE = 4096
+_RECORD_HEADER = struct.Struct("<QQ")  # offset, length
+
+
+class UndoLogRegion:
+    """A persistent region guarded by an undo log.
+
+    Layout::
+
+        base + 0     magic (8) | log_used (8) | data_size (8) | log_size (8)
+        base + 4096  log area   (log_size bytes)
+        base + 4096 + log_size  data area (data_size bytes)
+
+    Offsets in the public API are data-area-relative, matching
+    :class:`~repro.romulus.region.RomulusRegion`'s convention.
+    """
+
+    def __init__(
+        self,
+        device: PersistentMemoryDevice,
+        data_size: int,
+        log_size: int = 1 << 20,
+        base: int = 0,
+        flush_instruction: FlushInstruction = FlushInstruction.CLFLUSHOPT,
+    ) -> None:
+        needed = base + _HEADER_SIZE + log_size + data_size
+        if needed > device.size:
+            raise ValueError(
+                f"device too small: undo-log region needs {needed} bytes"
+            )
+        self.device = device
+        self.base = base
+        self.data_size = data_size
+        self.log_size = log_size
+        self.flush_instruction = flush_instruction
+        self.log_base = base + _HEADER_SIZE
+        self.data_base = self.log_base + log_size
+        self.active_transaction = False
+
+    # ------------------------------------------------------------------
+    def _read_u64(self, offset: int) -> int:
+        return struct.unpack("<Q", self.device.read(self.base + offset, 8))[0]
+
+    def _persist_u64(self, offset: int, value: int, fence: bool = True) -> None:
+        self.device.write(self.base + offset, struct.pack("<Q", value))
+        self.device.flush(self.base + offset, 8, self.flush_instruction)
+        if fence and self.flush_instruction.needs_fence:
+            self.device.fence()
+
+    @property
+    def log_used(self) -> int:
+        return self._read_u64(8)
+
+    def format(self) -> "UndoLogRegion":
+        """Initialize an empty region."""
+        self.device.write(self.base, MAGIC)
+        header = struct.pack("<QQQ", 0, self.data_size, self.log_size)
+        self.device.write(self.base + 8, header)
+        self.device.persist(self.base, 32, self.flush_instruction)
+        return self
+
+    @classmethod
+    def open(
+        cls,
+        device: PersistentMemoryDevice,
+        base: int = 0,
+        flush_instruction: FlushInstruction = FlushInstruction.CLFLUSHOPT,
+    ) -> "UndoLogRegion":
+        """Attach to an existing region, rolling back a torn transaction."""
+        if device.read(base, 8) != MAGIC:
+            raise ValueError(f"no undo-log region at base {base}")
+        _, data_size, log_size = struct.unpack(
+            "<QQQ", device.read(base + 8, 24)
+        )
+        region = cls(
+            device,
+            data_size,
+            log_size=log_size,
+            base=base,
+            flush_instruction=flush_instruction,
+        )
+        region.recover()
+        return region
+
+    def recover(self) -> int:
+        """Apply pending undo records (newest first); returns the count."""
+        used = self.log_used
+        # Collect records in order, then undo in reverse.
+        records = []
+        cursor = 0
+        while cursor < used:
+            offset, length = _RECORD_HEADER.unpack(
+                self.device.read(self.log_base + cursor, _RECORD_HEADER.size)
+            )
+            cursor += _RECORD_HEADER.size
+            old = self.device.read(self.log_base + cursor, length)
+            cursor += length
+            records.append((offset, old))
+        for offset, old in reversed(records):
+            self.device.write(self.data_base + offset, old)
+            self.device.flush(
+                self.data_base + offset, len(old), self.flush_instruction
+            )
+        if records and self.flush_instruction.needs_fence:
+            self.device.fence()
+        self._persist_u64(8, 0)
+        self.active_transaction = False
+        return len(records)
+
+    # ------------------------------------------------------------------
+    def read(self, offset: int, length: int) -> bytes:
+        """Read from the data area."""
+        if offset < 0 or offset + length > self.data_size:
+            raise IndexError(
+                f"undo-log access [{offset}, {offset + length}) outside "
+                f"data area of {self.data_size} bytes"
+            )
+        return self.device.read(self.data_base + offset, length)
+
+    def begin_transaction(self) -> "UndoTransaction":
+        """Start a durable transaction."""
+        return UndoTransaction(self)
+
+
+class UndoTransaction:
+    """A single undo-logged transaction (context-manager friendly)."""
+
+    def __init__(self, region: UndoLogRegion) -> None:
+        if region.active_transaction:
+            raise RuntimeError("undo-log transactions cannot nest")
+        self.region = region
+        self._open = True
+        self._log_cursor = region.log_used
+        region.active_transaction = True
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Undo-log the old value (durably), then store in place."""
+        if not self._open:
+            raise RuntimeError("transaction already closed")
+        region = self.region
+        device = region.device
+        instr = region.flush_instruction
+        if offset < 0 or offset + len(data) > region.data_size:
+            raise IndexError(f"write outside data area at {offset}")
+        if not data:
+            return
+        record = _RECORD_HEADER.pack(offset, len(data)) + region.read(
+            offset, len(data)
+        )
+        if self._log_cursor + len(record) > region.log_size:
+            raise RuntimeError("undo log full — transaction too large")
+        device.write(region.log_base + self._log_cursor, record)
+        device.flush(
+            region.log_base + self._log_cursor, len(record), instr
+        )
+        self._log_cursor += len(record)
+        # Publish the new log length; both must be durable *before* the
+        # in-place store — hence a fence per write.
+        region._persist_u64(8, self._log_cursor)
+        device.write(region.data_base + offset, data)
+        device.flush(region.data_base + offset, len(data), instr)
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Read through the transaction (in-place updates are visible)."""
+        return self.region.read(offset, length)
+
+    def commit(self) -> None:
+        """Order the data flushes, then truncate the log."""
+        if not self._open:
+            raise RuntimeError("transaction already closed")
+        region = self.region
+        if region.flush_instruction.needs_fence:
+            region.device.fence()
+        region._persist_u64(8, 0)
+        self._close()
+
+    def abort(self) -> None:
+        """Roll back via the undo records written so far."""
+        if not self._open:
+            raise RuntimeError("transaction already closed")
+        self.region.recover()
+        self._close()
+
+    def _close(self) -> None:
+        self._open = False
+        self.region.active_transaction = False
+
+    def __enter__(self) -> "UndoTransaction":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        if not self._open:
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()

@@ -1,0 +1,165 @@
+"""Remote attestation and key provisioning (Fig. 5 workflow, steps 2-3).
+
+The data owner must convince herself she is talking to *her* enclave on
+the remote machine before handing over the AES key that protects the
+model and training data.  The simulated protocol preserves the moving
+parts of SGX EPID/DCAP attestation:
+
+1. the enclave produces a REPORT carrying its measurement and 64 bytes
+   of report data (here: its DH public key, binding the channel to the
+   quote);
+2. the platform's quoting enclave signs the report with a platform key
+   (stand-in for the EPID/ECDSA attestation key verified by Intel);
+3. the data owner verifies the quote, checks the measurement against
+   the build she expects, completes the DH exchange, and sends the
+   sealed data key over the derived channel.
+
+Diffie-Hellman runs over the RFC 3526 2048-bit MODP group; session keys
+come from HKDF-SHA256.  Message protection on the channel is AES-GCM.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.crypto.engine import EncryptionEngine, RandomSource
+from repro.sgx.enclave import Enclave
+from repro.sgx.sealing import hkdf_sha256
+
+# RFC 3526 group 14 (2048-bit MODP); generator 2.
+_MODP_PRIME = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E08"
+    "8A67CC74020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B"
+    "302B0A6DF25F14374FE1356D6D51C245E485B576625E7EC6F44C42E9"
+    "A637ED6B0BFF5CB6F406B7EDEE386BFB5A899FA5AE9F24117C4B1FE6"
+    "49286651ECE45B3DC2007CB8A163BF0598DA48361C55D39A69163FA8"
+    "FD24CF5F83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+    "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3BE39E772C"
+    "180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFF"
+    "FFFFFFFF",
+    16,
+)
+_MODP_GENERATOR = 2
+
+
+class AttestationError(Exception):
+    """Raised when quote verification or channel establishment fails."""
+
+
+@dataclass(frozen=True)
+class Quote:
+    """A signed attestation of an enclave's identity."""
+
+    measurement: bytes
+    report_data: bytes
+    signature: bytes
+
+
+class QuotingEnclave:
+    """The platform component that signs enclave reports.
+
+    ``platform_key`` models the attestation key whose public part the
+    verifier learned out of band (Intel's attestation service role).
+    """
+
+    def __init__(self, platform_key: bytes) -> None:
+        self._platform_key = bytes(platform_key)
+
+    def quote(self, enclave: Enclave, report_data: bytes) -> Quote:
+        """Sign a report for ``enclave`` carrying ``report_data``."""
+        if len(report_data) > 64:
+            raise ValueError("SGX report data is limited to 64 bytes")
+        padded = report_data.ljust(64, b"\x00")
+        signature = hmac.new(
+            self._platform_key, enclave.measurement + padded, hashlib.sha256
+        ).digest()
+        return Quote(
+            measurement=enclave.measurement,
+            report_data=padded,
+            signature=signature,
+        )
+
+    def verify(self, quote: Quote) -> bool:
+        """Verify a quote's signature (the IAS/DCAP verification role)."""
+        expected = hmac.new(
+            self._platform_key,
+            quote.measurement + quote.report_data,
+            hashlib.sha256,
+        ).digest()
+        return hmac.compare_digest(expected, quote.signature)
+
+
+@dataclass
+class SecureChannel:
+    """An established, authenticated channel keyed by the DH secret."""
+
+    engine: EncryptionEngine
+
+    def send(self, plaintext: bytes) -> bytes:
+        """Protect a message for the peer."""
+        return self.engine.seal(plaintext, aad=b"plinius-secure-channel")
+
+    def receive(self, sealed: bytes) -> bytes:
+        """Open a message from the peer."""
+        return self.engine.unseal(sealed, aad=b"plinius-secure-channel")
+
+
+def _dh_keypair(rand: RandomSource) -> Tuple[int, int]:
+    private = int.from_bytes(rand(32), "big") | 1
+    public = pow(_MODP_GENERATOR, private, _MODP_PRIME)
+    return private, public
+
+def _session_engine(
+    shared: int, rand: Optional[RandomSource]
+) -> EncryptionEngine:
+    secret = shared.to_bytes((_MODP_PRIME.bit_length() + 7) // 8, "big")
+    key = hkdf_sha256(secret, b"plinius-ra", b"session-key", 16)
+    return EncryptionEngine(key, rand=rand)
+
+
+def establish_channel(
+    enclave: Enclave,
+    quoting_enclave: QuotingEnclave,
+    expected_measurement: bytes,
+    rand_enclave: RandomSource,
+    rand_owner: RandomSource,
+) -> Tuple[SecureChannel, SecureChannel]:
+    """Run attestation + DH; returns (owner channel, enclave channel).
+
+    Raises :class:`AttestationError` if the quote does not verify or the
+    measurement is not the one the owner expects.
+    """
+    # Enclave side: DH keypair, public key goes into the quote.
+    enclave_priv, enclave_pub = _dh_keypair(rand_enclave)
+    report_data = hashlib.sha256(
+        enclave_pub.to_bytes(256, "big")
+    ).digest()
+    quote = quoting_enclave.quote(enclave, report_data)
+
+    # Owner side: verify quote and measurement.
+    if not quoting_enclave.verify(quote):
+        raise AttestationError("quote signature verification failed")
+    if quote.measurement != expected_measurement:
+        raise AttestationError(
+            "enclave measurement does not match the expected build"
+        )
+    owner_priv, owner_pub = _dh_keypair(rand_owner)
+    # The owner must check the quoted key hash matches what the enclave
+    # later uses; in this in-process simulation both sides exchange public
+    # keys directly.
+    if quote.report_data[:32] != hashlib.sha256(
+        enclave_pub.to_bytes(256, "big")
+    ).digest():
+        raise AttestationError("quoted DH key does not match the exchange")
+
+    shared_owner = pow(enclave_pub, owner_priv, _MODP_PRIME)
+    shared_enclave = pow(owner_pub, enclave_priv, _MODP_PRIME)
+    owner_channel = SecureChannel(_session_engine(shared_owner, rand_owner))
+    enclave_channel = SecureChannel(
+        _session_engine(shared_enclave, rand_enclave)
+    )
+    return owner_channel, enclave_channel

@@ -1,0 +1,40 @@
+"""Simulated time: deterministic clock, device/SGX cost models, server profiles.
+
+Plinius was evaluated on hardware that cannot be reproduced in pure Python
+(real SGX enclaves on *sgx-emlPM*, real Optane DC PM on *emlSGX-PM*).  All
+performance results in this reproduction are therefore expressed in
+*simulated seconds*: every substrate operation (PM store, cache-line flush,
+SSD fsync, ecall, page swap, AES-GCM pass, training iteration) charges time
+to a shared :class:`SimClock` according to cost models calibrated against
+the numbers reported in the paper (Section II and Section VI).
+
+The clock is deterministic, which makes every figure and table in
+``benchmarks/`` exactly reproducible.
+"""
+
+from repro.simtime.clock import SimClock, StopwatchSpan
+from repro.simtime.costs import (
+    ComputeCostModel,
+    CryptoCostModel,
+    DeviceCostModel,
+    SgxCostModel,
+)
+from repro.simtime.profiles import (
+    EMLSGX_PM,
+    SGX_EMLPM,
+    ServerProfile,
+    get_profile,
+)
+
+__all__ = [
+    "SimClock",
+    "StopwatchSpan",
+    "DeviceCostModel",
+    "SgxCostModel",
+    "CryptoCostModel",
+    "ComputeCostModel",
+    "ServerProfile",
+    "SGX_EMLPM",
+    "EMLSGX_PM",
+    "get_profile",
+]

@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.system import PliniusSystem
+from repro.darknet.data import DataMatrix
+from repro.data import synthetic_mnist, to_data_matrix
+from repro.hw.pmem import PersistentMemoryDevice
+from repro.simtime.clock import SimClock
+from repro.simtime.profiles import EMLSGX_PM, SGX_EMLPM
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture
+def pm_device(clock: SimClock) -> PersistentMemoryDevice:
+    """A 1 MiB Optane-profile PM device."""
+    return PersistentMemoryDevice(1 << 20, clock, EMLSGX_PM.pm)
+
+
+@pytest.fixture(params=[SGX_EMLPM.name, EMLSGX_PM.name])
+def server_name(request) -> str:
+    """Parametrize a test over both paper servers."""
+    return request.param
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> DataMatrix:
+    """A small deterministic synthetic-MNIST training matrix."""
+    images, labels, _, _ = synthetic_mnist(512, 1, seed=11)
+    return to_data_matrix(images, labels)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> DataMatrix:
+    """An even smaller matrix for per-test system setup."""
+    images, labels, _, _ = synthetic_mnist(96, 1, seed=13)
+    return to_data_matrix(images, labels)
+
+
+def make_system(
+    server: str = "emlSGX-PM",
+    seed: int = 7,
+    pm_size: int = 64 << 20,
+) -> PliniusSystem:
+    """A fresh small Plinius deployment."""
+    return PliniusSystem.create(server=server, seed=seed, pm_size=pm_size)
+
+
+@pytest.fixture
+def system(tiny_dataset: DataMatrix) -> PliniusSystem:
+    """A loaded, ready-to-train system on the real-PM server."""
+    sys_ = make_system()
+    sys_.load_data(tiny_dataset)
+    return sys_
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

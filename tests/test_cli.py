@@ -1,0 +1,78 @@
+"""The ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["not-a-command"])
+
+    def test_server_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--server", "bogus", "fig2"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.server == "emlSGX-PM"
+        assert not args.full
+
+
+class TestCommands:
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "pm-dax" in out and "seqread" in out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "sgx-romulus" in out and "scone" in out
+
+    def test_fig7_quick(self, capsys):
+        assert main(["fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "save x" in out
+
+    def test_fig8(self, capsys):
+        assert main(["fig8"]) == 0
+        assert "overhead" in capsys.readouterr().out
+
+    def test_fig9_quick(self, capsys):
+        assert main(["fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "resilient" in out and "non-resilient" in out
+
+    def test_fig10_quick(self, capsys):
+        assert main(["fig10"]) == 0
+        assert "state:" in capsys.readouterr().out
+
+    def test_tcb(self, capsys):
+        assert main(["tcb"]) == 0
+        assert "reduction" in capsys.readouterr().out
+
+    def test_train(self, capsys):
+        assert main(["train", "--iterations", "5", "--rows", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "trained 5 iterations" in out
+        assert "PM mirror at iteration 5" in out
+
+    def test_train_on_sgx_server(self, capsys):
+        assert (
+            main(
+                [
+                    "--server", "sgx-emlPM",
+                    "train", "--iterations", "3", "--rows", "128",
+                ]
+            )
+            == 0
+        )
+        assert "sgx-emlPM" in capsys.readouterr().out

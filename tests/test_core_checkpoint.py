@@ -1,0 +1,120 @@
+"""The SSD checkpointing baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import CheckpointError, SsdCheckpoint
+from repro.core.models import build_mnist_cnn
+from repro.crypto.engine import EncryptionEngine
+from repro.darknet.weights import save_weights
+from repro.hw.ssd import BlockDevice
+from repro.sgx.ecall import EnclaveRuntime
+from repro.sgx.enclave import Enclave
+from repro.sgx.rand import SgxRandom
+from repro.simtime.clock import SimClock
+from repro.simtime.profiles import SGX_EMLPM
+
+
+def make_checkpoint():
+    clock = SimClock()
+    ssd = BlockDevice(clock, SGX_EMLPM.ssd)
+    enclave = Enclave(clock, SGX_EMLPM.sgx)
+    runtime = EnclaveRuntime(enclave)
+    engine = EncryptionEngine(b"k" * 16, rand=SgxRandom(b"iv"))
+    return ssd, SsdCheckpoint(ssd, engine, enclave, runtime, SGX_EMLPM)
+
+
+def make_model(seed: int = 0):
+    return build_mnist_cnn(
+        n_conv_layers=2, filters=4, batch=8, rng=np.random.default_rng(seed)
+    )
+
+
+class TestCheckpoint:
+    def test_save_restore_roundtrip(self):
+        _, ckpt = make_checkpoint()
+        net = make_model(seed=1)
+        ckpt.save(net, iteration=9)
+        expected = save_weights(net)
+
+        other = make_model(seed=2)
+        iteration, _ = ckpt.restore(other)
+        assert iteration == 9
+        other.iteration = net.iteration
+        assert save_weights(other) == expected
+
+    def test_exists(self):
+        _, ckpt = make_checkpoint()
+        assert not ckpt.exists()
+        ckpt.save(make_model(), 1)
+        assert ckpt.exists()
+
+    def test_restore_missing_raises(self):
+        _, ckpt = make_checkpoint()
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            ckpt.restore(make_model())
+
+    def test_architecture_mismatch_detected(self):
+        _, ckpt = make_checkpoint()
+        ckpt.save(make_model(), 1)
+        bigger = build_mnist_cnn(
+            n_conv_layers=3, filters=4, batch=8, rng=np.random.default_rng(0)
+        )
+        with pytest.raises(CheckpointError, match="mismatch"):
+            ckpt.restore(bigger)
+
+    def test_fsync_per_buffer(self):
+        """Paper: 'After each call to fwrite ... issue an fsync'."""
+        ssd, ckpt = make_checkpoint()
+        net = make_model()
+        ckpt.save(net, 1)
+        n_buffers = len(net.parameter_buffers())
+        assert ssd.stats["fsyncs"] == n_buffers + 1  # + header fsync
+
+    def test_checkpoint_is_ciphertext_on_disk(self):
+        ssd, ckpt = make_checkpoint()
+        net = make_model(seed=3)
+        ckpt.save(net, 1)
+        on_disk = ssd.read_all(ckpt.path)
+        weights = net.layers[0].weights.tobytes()
+        assert weights[:24] not in on_disk
+
+    def test_unsynced_data_would_be_lost_but_save_syncs(self):
+        ssd, ckpt = make_checkpoint()
+        net = make_model(seed=4)
+        ckpt.save(net, 1)
+        ssd.crash()
+        other = make_model(seed=5)
+        iteration, _ = ckpt.restore(other)
+        assert iteration == 1
+
+    def test_ocalls_charged(self):
+        _, ckpt = make_checkpoint()
+        net = make_model()
+        ckpt.save(net, 1)
+        assert ckpt.runtime.stats["ocalls"] > 0
+        assert ckpt.enclave.clock.now() > 0
+
+    def test_timings_phases_positive(self):
+        _, ckpt = make_checkpoint()
+        net = make_model()
+        save = ckpt.save(net, 1)
+        assert save.crypto_seconds > 0 and save.storage_seconds > 0
+        _, restore = ckpt.restore(net)
+        assert restore.crypto_seconds > 0 and restore.storage_seconds > 0
+
+    def test_overwriting_checkpoint(self):
+        _, ckpt = make_checkpoint()
+        net = make_model(seed=6)
+        ckpt.save(net, 1)
+        for _, (name, buf) in net.parameter_buffers():
+            buf += 0.5
+        ckpt.save(net, 2)
+        expected = save_weights(net)
+        other = make_model(seed=7)
+        iteration, _ = ckpt.restore(other)
+        assert iteration == 2
+        other.iteration = net.iteration
+        assert save_weights(other) == expected

@@ -1,0 +1,54 @@
+"""Smoke tests: the shipped example scripts run end to end.
+
+Only the fast examples run here (the full set is exercised manually /
+in benchmarks); each must exit cleanly and print its headline lines.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_REPO = Path(__file__).resolve().parent.parent
+
+
+def _run(script: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(_REPO / "examples" / script)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=_REPO,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_full_workflow_example():
+    out = _run("full_workflow.py")
+    assert "remote attestation verified" in out
+    assert "owner decrypted the final model" in out
+    assert "enclave boundary crossings" in out
+
+
+def test_device_characterization_example():
+    out = _run("device_characterization.py")
+    assert "Fig. 2" in out and "Fig. 6" in out
+    assert "SCONE collapse" in out
+
+
+@pytest.mark.slow
+def test_quickstart_example():
+    out = _run("quickstart.py")
+    assert "KILLED" in out
+    assert "resumed from iteration 60" in out
+
+
+@pytest.mark.slow
+def test_distributed_example():
+    out = _run("distributed_training.py")
+    assert "recovered from its own PM mirror" in out
+    assert "replicas back in sync" in out

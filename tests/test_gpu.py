@@ -1,0 +1,189 @@
+"""Secure GPU offload: correctness, privacy, integrity, cost."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.models import build_mnist_cnn
+from repro.gpu import (
+    GpuIntegrityError,
+    OffloadedConvolution,
+    SimulatedGpu,
+    offload_network,
+)
+from repro.simtime.clock import SimClock
+from repro.simtime.costs import ComputeCostModel
+from repro.simtime.profiles import SGX_EMLPM
+
+
+def make_setup(filters: int = 6, seed: int = 0):
+    clock = SimClock()
+    gpu = SimulatedGpu(clock)
+    network = build_mnist_cnn(
+        n_conv_layers=2,
+        filters=filters,
+        batch=8,
+        rng=np.random.default_rng(seed),
+    )
+    compute = SGX_EMLPM.compute
+    return clock, gpu, network, compute
+
+
+class TestOffloadCorrectness:
+    def test_matches_in_enclave_inference(self):
+        clock, gpu, network, compute = make_setup()
+        x = np.random.default_rng(1).normal(size=(4, 1, 28, 28)).astype(
+            np.float32
+        )
+        expected = network.predict(x)
+        offloaded = offload_network(
+            network, gpu, compute, rng=np.random.default_rng(2)
+        )
+        got = offloaded.predict(x)
+        np.testing.assert_allclose(got, expected, rtol=1e-3, atol=1e-4)
+
+    def test_training_rejected(self):
+        _, gpu, network, compute = make_setup()
+        conv = OffloadedConvolution(network.layers[0], gpu, compute)
+        with pytest.raises(NotImplementedError, match="inference-only"):
+            conv.forward(np.zeros((1, 1, 28, 28), np.float32), train=True)
+        with pytest.raises(NotImplementedError):
+            conv.backward(np.zeros((1,)))
+
+    def test_gpu_actually_used(self):
+        _, gpu, network, compute = make_setup()
+        offloaded = offload_network(network, gpu, compute)
+        offloaded.predict(np.zeros((2, 1, 28, 28), np.float32))
+        assert gpu.stats["kernels"] == 2  # one per conv layer
+        assert gpu.stats["bytes_transferred"] > 0
+
+
+class TestPrivacy:
+    def test_gpu_never_sees_plain_activations(self):
+        """The GEMM input must be blinded: statistically far from the
+        true im2col matrix."""
+        _, gpu, network, compute = make_setup()
+        seen = []
+        original_gemm = gpu.gemm
+
+        def spy(a, b):
+            seen.append(b.copy())
+            return original_gemm(a, b)
+
+        gpu.gemm = spy
+        conv = OffloadedConvolution(
+            network.layers[0], gpu, compute, rng=np.random.default_rng(5)
+        )
+        x = np.random.default_rng(6).normal(size=(2, 1, 28, 28)).astype(
+            np.float32
+        )
+        conv.forward(x)
+        from repro.darknet.im2col import im2col
+
+        true_cols = im2col(x, 3, 1, 1)
+        blinded = seen[0]
+        # The blind stream has unit-ish variance: the payload differs
+        # everywhere except measure-zero coincidences.
+        close = np.isclose(blinded, true_cols, atol=1e-3).mean()
+        assert close < 0.05
+
+    def test_unblinding_is_exact(self):
+        _, gpu, network, compute = make_setup()
+        layer = network.layers[0]
+        conv = OffloadedConvolution(
+            layer, gpu, compute, rng=np.random.default_rng(7)
+        )
+        x = np.random.default_rng(8).normal(size=(2, 1, 28, 28)).astype(
+            np.float32
+        )
+        expected = layer.forward(x, train=False)
+        np.testing.assert_allclose(
+            conv.forward(x), expected, rtol=1e-3, atol=1e-4
+        )
+
+
+class TestIntegrity:
+    def test_tampered_result_detected(self):
+        _, gpu, network, compute = make_setup()
+        conv = OffloadedConvolution(
+            network.layers[0], gpu, compute, rng=np.random.default_rng(9)
+        )
+
+        def tamper(result):
+            corrupted = result.copy()
+            corrupted[0, 0] += 5.0
+            return corrupted
+
+        gpu.tamper_hook = tamper
+        with pytest.raises(GpuIntegrityError):
+            conv.forward(
+                np.random.default_rng(10)
+                .normal(size=(2, 1, 28, 28))
+                .astype(np.float32)
+            )
+
+    def test_scaled_tamper_detected(self):
+        _, gpu, network, compute = make_setup()
+        conv = OffloadedConvolution(
+            network.layers[0], gpu, compute, rng=np.random.default_rng(11)
+        )
+        gpu.tamper_hook = lambda result: result * 1.01
+        with pytest.raises(GpuIntegrityError):
+            conv.forward(
+                np.random.default_rng(12)
+                .normal(size=(2, 1, 28, 28))
+                .astype(np.float32)
+            )
+
+    def test_honest_gpu_passes_many_rounds(self):
+        _, gpu, network, compute = make_setup()
+        conv = OffloadedConvolution(
+            network.layers[0],
+            gpu,
+            compute,
+            rng=np.random.default_rng(13),
+            freivalds_rounds=8,
+        )
+        for _ in range(3):
+            conv.forward(
+                np.random.default_rng(14)
+                .normal(size=(2, 1, 28, 28))
+                .astype(np.float32)
+            )
+
+
+class TestCosts:
+    def test_offload_faster_than_enclave_for_heavy_convs(self):
+        """The point of the exercise: simulated inference time drops."""
+        # Heavy conv stack: enclave-only time is flops / 14 GFLOPS.
+        network = build_mnist_cnn(
+            n_conv_layers=4, filters=64, batch=8,
+            rng=np.random.default_rng(0),
+        )
+        compute = SGX_EMLPM.compute
+        x = np.random.default_rng(1).normal(size=(8, 1, 28, 28)).astype(
+            np.float32
+        )
+
+        enclave_clock = SimClock()
+        inference_flops = network.flops(8) / 3  # forward only
+        enclave_clock.advance(compute.iteration_time(inference_flops))
+        enclave_seconds = enclave_clock.now()
+
+        gpu_clock = SimClock()
+        gpu = SimulatedGpu(gpu_clock)
+        offloaded = offload_network(
+            network, gpu, compute, rng=np.random.default_rng(2)
+        )
+        offloaded.predict(x)
+        gpu_seconds = gpu_clock.now()
+
+        assert gpu_seconds < enclave_seconds / 2
+
+    def test_precompute_tracked_separately(self):
+        clock, gpu, network, compute = make_setup()
+        conv = OffloadedConvolution(network.layers[0], gpu, compute)
+        conv.precompute_blinds((9, 784 * 2), count=3)
+        assert conv.precompute_seconds > 0
+        assert clock.now() == 0.0  # offline cost, not on the hot path

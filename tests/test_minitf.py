@@ -1,0 +1,178 @@
+"""minitf + the generality of the mirroring mechanism (Section IV)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mirror import MirrorModule
+from repro.crypto.engine import EncryptionEngine
+from repro.data import synthetic_mnist
+from repro.hw.pmem import PersistentMemoryDevice
+from repro.minitf import MlpClassifier, Tape, Tensor, VariableMirrorAdapter, ops
+from repro.romulus.alloc import PersistentHeap
+from repro.romulus.region import RomulusRegion
+from repro.sgx.enclave import Enclave
+from repro.sgx.rand import SgxRandom
+from repro.simtime.clock import SimClock
+from repro.simtime.profiles import EMLSGX_PM
+
+
+class TestAutograd:
+    def test_matmul_gradients(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(rng.normal(size=(3, 4)))
+        b = Tensor(rng.normal(size=(4, 2)))
+        tape = Tape()
+        out = ops.matmul(tape, a, b)
+        tape.backward(out)
+        np.testing.assert_allclose(
+            a.grad, np.ones((3, 2)) @ b.value.T, rtol=1e-5
+        )
+        np.testing.assert_allclose(
+            b.grad, a.value.T @ np.ones((3, 2)), rtol=1e-5
+        )
+
+    def test_relu_gradient(self):
+        x = Tensor(np.array([[-1.0, 2.0]]))
+        tape = Tape()
+        out = ops.relu(tape, x)
+        tape.backward(out)
+        np.testing.assert_array_equal(x.grad, [[0.0, 1.0]])
+
+    def test_bias_gradient_sums_over_batch(self):
+        x = Tensor(np.zeros((5, 3)))
+        bias = Tensor(np.zeros(3))
+        tape = Tape()
+        out = ops.add_bias(tape, x, bias)
+        tape.backward(out)
+        np.testing.assert_array_equal(bias.grad, [5.0, 5.0, 5.0])
+
+    def test_cross_entropy_matches_finite_difference(self):
+        rng = np.random.default_rng(1)
+        logits_value = rng.normal(size=(4, 3))
+        one_hot = np.eye(3, dtype=np.float32)[[0, 1, 2, 1]]
+
+        logits = Tensor(logits_value)
+        tape = Tape()
+        loss = ops.softmax_cross_entropy(tape, logits, one_hot)
+        tape.backward(loss)
+
+        eps = 1e-3  # float32 tensors need a coarse step
+        numeric = np.zeros_like(logits_value)
+        for idx in np.ndindex(logits_value.shape):
+            for sign in (+1, -1):
+                bumped = logits_value.copy()
+                bumped[idx] += sign * eps
+                value = ops.softmax_cross_entropy(
+                    Tape(), Tensor(bumped), one_hot
+                ).value
+                if sign > 0:
+                    up = value
+                else:
+                    numeric[idx] = (up - value) / (2 * eps)
+        np.testing.assert_allclose(logits.grad, numeric, atol=5e-3)
+
+
+class TestMlp:
+    def test_learns_synthetic_mnist(self):
+        images, labels, test_images, test_labels = synthetic_mnist(
+            800, 200, seed=6
+        )
+        x = images.reshape(len(images), -1)
+        one_hot = np.eye(10, dtype=np.float32)[labels]
+        model = MlpClassifier(
+            (784, 64, 10), learning_rate=0.2, rng=np.random.default_rng(0)
+        )
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            idx = rng.integers(0, len(x), size=64)
+            model.train_batch(x[idx], one_hot[idx])
+        acc = model.accuracy(
+            test_images.reshape(len(test_images), -1), test_labels
+        )
+        assert acc > 0.8
+
+    def test_variable_naming(self):
+        model = MlpClassifier((10, 5, 2), rng=np.random.default_rng(0))
+        names = [v.name for v in model.variables]
+        assert names == [
+            "dense_0/kernel", "dense_0/bias",
+            "dense_1/kernel", "dense_1/bias",
+        ]
+
+    def test_needs_two_sizes(self):
+        with pytest.raises(ValueError):
+            MlpClassifier((10,))
+
+
+def make_mirror(pm_size: int = 8 << 20):
+    clock = SimClock()
+    device = PersistentMemoryDevice(pm_size, clock, EMLSGX_PM.pm)
+    region = RomulusRegion(device, (pm_size - 4096) // 2).format()
+    return device, region, MirrorModule(
+        region,
+        PersistentHeap(region),
+        EncryptionEngine(b"k" * 16, rand=SgxRandom(b"iv")),
+        Enclave(clock, EMLSGX_PM.sgx),
+        EMLSGX_PM,
+    )
+
+
+class TestGenerality:
+    """The unchanged MirrorModule mirrors a non-Darknet framework."""
+
+    def test_mirror_roundtrip_of_minitf_model(self):
+        model = MlpClassifier((20, 8, 3), rng=np.random.default_rng(2))
+        adapter = VariableMirrorAdapter(model)
+        _, _, mirror = make_mirror()
+        mirror.alloc_mirror_model(adapter)
+        model.iteration = 17
+        mirror.mirror_out(adapter, model.iteration)
+
+        other = MlpClassifier((20, 8, 3), rng=np.random.default_rng(99))
+        other_adapter = VariableMirrorAdapter(other)
+        mirror.mirror_in(other_adapter)
+        assert other.iteration == 17
+        for mine, theirs in zip(model.variables, other.variables):
+            np.testing.assert_array_equal(mine.value, theirs.value)
+
+    def test_crash_resume_training_of_minitf_model(self):
+        images, labels, _, _ = synthetic_mnist(256, 1, seed=8)
+        x = images.reshape(len(images), -1)
+        one_hot = np.eye(10, dtype=np.float32)[labels]
+
+        device, region, mirror = make_mirror()
+        model = MlpClassifier((784, 16, 10), rng=np.random.default_rng(3))
+        adapter = VariableMirrorAdapter(model)
+        mirror.alloc_mirror_model(adapter)
+        for i in range(10):
+            model.train_batch(x[:32], one_hot[:32])
+            mirror.mirror_out(adapter, model.iteration)
+        checkpointed = [v.value.copy() for v in model.variables]
+
+        device.crash()
+        region.recover()
+        fresh = MlpClassifier((784, 16, 10), rng=np.random.default_rng(44))
+        mirror.mirror_in(VariableMirrorAdapter(fresh))
+        assert fresh.iteration == 10
+        for restored, expected in zip(fresh.variables, checkpointed):
+            np.testing.assert_array_equal(restored.value, expected)
+
+    def test_group_size_validation(self):
+        model = MlpClassifier((4, 2), rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            VariableMirrorAdapter(model, group_size=0)
+        with pytest.raises(ValueError):
+            VariableMirrorAdapter(model, group_size=99)
+
+    def test_grouping_respects_max_buffers(self):
+        model = MlpClassifier(
+            (10, 9, 8, 7, 6, 5, 4, 3, 2), rng=np.random.default_rng(0)
+        )
+        adapter = VariableMirrorAdapter(model)
+        assert all(
+            len(group.parameter_buffers()) <= 8 for group in adapter.layers
+        )
+        total = sum(len(g.parameter_buffers()) for g in adapter.layers)
+        assert total == len(model.variables)

@@ -1,0 +1,155 @@
+"""Secure inference serving: attested, sealed, correct."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.serving import InferenceClient, SecureInferenceService
+from repro.crypto.backend import IntegrityError
+from repro.darknet.train import train
+from repro.data import synthetic_mnist, to_data_matrix
+from repro.sgx.attestation import AttestationError, QuotingEnclave
+from repro.sgx.enclave import Enclave
+from repro.simtime.clock import SimClock
+from repro.simtime.profiles import EMLSGX_PM
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    """A trained model + enclave + quoting enclave + test data."""
+    from repro.core.models import build_mnist_cnn
+
+    images, labels, test_images, test_labels = synthetic_mnist(
+        1200, 200, seed=19
+    )
+    net = build_mnist_cnn(
+        n_conv_layers=3, filters=8, batch=32, rng=np.random.default_rng(0)
+    )
+    train(
+        net,
+        to_data_matrix(images, labels),
+        iterations=120,
+        rng=np.random.default_rng(1),
+        input_shape=(1, 28, 28),
+    )
+    enclave = Enclave(SimClock(), EMLSGX_PM.sgx)
+    qe = QuotingEnclave(b"serving-platform")
+    return net, enclave, qe, test_images, test_labels
+
+
+def make_service(trained_setup):
+    net, enclave, qe, _, _ = trained_setup
+    return SecureInferenceService(net, enclave, qe)
+
+
+class TestService:
+    def test_end_to_end_classification(self, trained_setup):
+        net, enclave, qe, test_images, test_labels = trained_setup
+        service = make_service(trained_setup)
+        client = InferenceClient(enclave.measurement, seed=2)
+        service.connect(client)
+        preds = client.classify(service, test_images[:64])
+        accuracy = float((preds == test_labels[:64]).mean())
+        assert accuracy > 0.8
+
+    def test_requests_are_sealed_on_the_wire(self, trained_setup):
+        net, enclave, qe, test_images, _ = trained_setup
+        service = make_service(trained_setup)
+        client = InferenceClient(enclave.measurement, seed=3)
+        service.connect(client)
+        wire = client.seal_request(test_images[:4])
+        assert test_images[0].astype(np.float32).tobytes()[:24] not in wire
+
+    def test_responses_are_sealed(self, trained_setup):
+        net, enclave, qe, test_images, _ = trained_setup
+        service = make_service(trained_setup)
+        client = InferenceClient(enclave.measurement, seed=4)
+        service.connect(client)
+        sealed = service.handle(client.seal_request(test_images[:4]))
+        preds = client.open_response(sealed)
+        assert preds.tobytes() not in sealed  # still sealed going out
+        assert preds.shape == (4,)
+
+    def test_tampered_request_rejected(self, trained_setup):
+        net, enclave, qe, test_images, _ = trained_setup
+        service = make_service(trained_setup)
+        client = InferenceClient(enclave.measurement, seed=5)
+        service.connect(client)
+        wire = bytearray(client.seal_request(test_images[:2]))
+        wire[20] ^= 0xFF
+        with pytest.raises(IntegrityError):
+            service.handle(bytes(wire))
+
+    def test_wrong_measurement_aborts_connection(self, trained_setup):
+        service = make_service(trained_setup)
+        impostor_client = InferenceClient(b"\x00" * 32, seed=6)
+        with pytest.raises(AttestationError):
+            service.connect(impostor_client)
+
+    def test_feature_mismatch_rejected(self, trained_setup):
+        net, enclave, qe, _, _ = trained_setup
+        service = make_service(trained_setup)
+        client = InferenceClient(enclave.measurement, seed=7)
+        service.connect(client)
+        bad = np.zeros((2, 10, 10), dtype=np.float32)
+        with pytest.raises(ValueError, match="features"):
+            service.handle(client.seal_request(bad))
+
+    def test_requires_connection(self, trained_setup):
+        service = make_service(trained_setup)
+        with pytest.raises(RuntimeError, match="no client"):
+            service.handle(b"x" * 64)
+        client = InferenceClient(b"\x00" * 32)
+        with pytest.raises(RuntimeError, match="not connected"):
+            client.seal_request(np.zeros((1, 28, 28), np.float32))
+
+    def test_stats_tracked(self, trained_setup):
+        net, enclave, qe, test_images, _ = trained_setup
+        service = make_service(trained_setup)
+        client = InferenceClient(enclave.measurement, seed=8)
+        service.connect(client)
+        client.classify(service, test_images[:8])
+        client.classify(service, test_images[:16])
+        assert service.stats.requests == 2
+        assert service.stats.samples == 24
+
+    def test_from_mirror_serves_the_mirrored_model(self, trained_setup):
+        """The deployment story: the served model comes straight from
+        the encrypted PM mirror."""
+        from repro.core.mirror import MirrorModule
+        from repro.core.models import build_mnist_cnn
+        from repro.crypto.engine import EncryptionEngine
+        from repro.hw.pmem import PersistentMemoryDevice
+        from repro.romulus.alloc import PersistentHeap
+        from repro.romulus.region import RomulusRegion
+        from repro.sgx.rand import SgxRandom
+
+        net, enclave, qe, test_images, test_labels = trained_setup
+        clock = SimClock()
+        device = PersistentMemoryDevice(16 << 20, clock, EMLSGX_PM.pm)
+        region = RomulusRegion(device, ((16 << 20) - 4096) // 2).format()
+        mirror = MirrorModule(
+            region,
+            PersistentHeap(region),
+            EncryptionEngine(b"k" * 16, rand=SgxRandom(b"iv")),
+            Enclave(clock, EMLSGX_PM.sgx),
+            EMLSGX_PM,
+        )
+        mirror.alloc_mirror_model(net)
+        mirror.mirror_out(net, net.iteration)
+
+        fresh = build_mnist_cnn(
+            n_conv_layers=3, filters=8, batch=32,
+            rng=np.random.default_rng(123),
+        )
+        service = SecureInferenceService.from_mirror(
+            mirror, fresh, enclave, qe
+        )
+        client = InferenceClient(enclave.measurement, seed=9)
+        service.connect(client)
+        preds = client.classify(service, test_images[:32])
+        expected = net.predict(
+            test_images[:32].reshape(-1, 1, 28, 28)
+        ).argmax(axis=1)
+        np.testing.assert_array_equal(preds, expected)

@@ -1,0 +1,277 @@
+"""SGX simulator: randomness, enclave/EPC, ecalls, sealing, attestation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.backend import IntegrityError
+from repro.sgx import (
+    AttestationError,
+    Enclave,
+    EnclaveCallError,
+    EnclaveMemoryError,
+    EnclaveRuntime,
+    QuotingEnclave,
+    SgxRandom,
+    establish_channel,
+    seal_data,
+    sgx_read_rand,
+    unseal_data,
+)
+from repro.simtime.clock import SimClock
+from repro.simtime.costs import MIB
+from repro.simtime.profiles import EMLSGX_PM, SGX_EMLPM
+
+
+class TestSgxRandom:
+    def test_deterministic_with_seed(self):
+        assert SgxRandom(b"s").read(32) == SgxRandom(b"s").read(32)
+
+    def test_stream_advances(self):
+        rng = SgxRandom(b"s")
+        assert rng.read(16) != rng.read(16)
+
+    def test_different_seeds_differ(self):
+        assert SgxRandom(b"a").read(16) != SgxRandom(b"b").read(16)
+
+    def test_arbitrary_lengths(self):
+        rng = SgxRandom(b"s")
+        assert len(rng.read(0)) == 0
+        assert len(rng.read(7)) == 7
+        assert len(rng.read(100)) == 100
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SgxRandom(b"s").read(-1)
+
+    def test_module_level_helper(self):
+        assert len(sgx_read_rand(12)) == 12
+        assert sgx_read_rand(8, SgxRandom(b"x")) == SgxRandom(b"x").read(8)
+
+
+def make_enclave(enabled: bool = True) -> Enclave:
+    profile = SGX_EMLPM if enabled else EMLSGX_PM
+    return Enclave(SimClock(), profile.sgx)
+
+
+class TestEnclave:
+    def test_measurement_depends_on_code(self):
+        clock = SimClock()
+        a = Enclave(clock, SGX_EMLPM.sgx, code_identity=b"v1")
+        b = Enclave(clock, SGX_EMLPM.sgx, code_identity=b"v2")
+        assert a.measurement != b.measurement
+        assert len(a.measurement) == 32
+
+    def test_malloc_free_ledger(self):
+        enc = make_enclave()
+        enc.malloc("model", 10 * MIB)
+        enc.malloc("buffer", 1 * MIB)
+        assert enc.allocated == 11 * MIB
+        enc.free("buffer")
+        assert enc.allocated == 10 * MIB
+
+    def test_malloc_same_tag_resizes(self):
+        enc = make_enclave()
+        enc.malloc("model", 10 * MIB)
+        enc.malloc("model", 4 * MIB)
+        assert enc.allocated == 4 * MIB
+
+    def test_heap_limit_enforced(self):
+        enc = Enclave(SimClock(), SGX_EMLPM.sgx, heap_size=1 * MIB)
+        with pytest.raises(EnclaveMemoryError):
+            enc.malloc("big", 2 * MIB)
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            make_enclave().malloc("x", -1)
+
+    def test_working_set_includes_base_footprint(self):
+        enc = make_enclave()
+        assert enc.working_set == enc.base_footprint
+        enc.malloc("m", 5 * MIB)
+        assert enc.working_set == enc.base_footprint + 5 * MIB
+
+    def test_over_epc_threshold(self):
+        enc = make_enclave()
+        assert not enc.over_epc
+        enc.malloc("model", 78 * MIB)  # the paper's knee: ~78 MB model
+        assert enc.over_epc
+
+    def test_no_over_epc_in_simulation_mode(self):
+        enc = make_enclave(enabled=False)
+        enc.malloc("model", 500 * MIB)
+        assert not enc.over_epc
+
+    def test_touch_free_below_epc(self):
+        enc = make_enclave()
+        enc.malloc("model", 10 * MIB)
+        t0 = enc.clock.now()
+        enc.touch(10 * MIB)
+        assert enc.clock.now() == t0
+
+    def test_touch_charges_paging_beyond_epc(self):
+        enc = make_enclave()
+        enc.malloc("model", 120 * MIB)
+        t0 = enc.clock.now()
+        enc.touch(120 * MIB)
+        assert enc.clock.now() > t0
+        assert enc.stats["paging_events"] == 1
+        assert enc.stats["paged_bytes"] > 0
+
+    def test_copy_in_charges_mee_bandwidth(self):
+        enc = make_enclave()
+        t0 = enc.clock.now()
+        enc.copy_in(10 * MIB)
+        expected = 10 * MIB / SGX_EMLPM.sgx.epc_copy_bandwidth
+        assert enc.clock.now() - t0 == pytest.approx(expected)
+
+    def test_copy_out_cheaper_than_copy_in(self):
+        enc_a, enc_b = make_enclave(), make_enclave()
+        enc_a.copy_in(10 * MIB)
+        enc_b.copy_out(10 * MIB)
+        assert enc_b.clock.now() < enc_a.clock.now()
+
+    def test_copies_free_in_simulation_mode(self):
+        enc = make_enclave(enabled=False)
+        enc.copy_in(100 * MIB)
+        enc.copy_out(100 * MIB)
+        assert enc.clock.now() == 0.0
+
+    def test_destroy(self):
+        enc = make_enclave()
+        enc.malloc("m", 1 * MIB)
+        enc.destroy()
+        assert enc.destroyed
+        with pytest.raises(RuntimeError, match="destroyed"):
+            enc.malloc("m", 1)
+        with pytest.raises(RuntimeError):
+            enc.touch(1)
+
+
+class TestEnclaveRuntime:
+    def make(self, enabled: bool = True) -> EnclaveRuntime:
+        return EnclaveRuntime(make_enclave(enabled))
+
+    def test_ecall_dispatch(self):
+        rt = self.make()
+        rt.register_ecall("add", lambda a, b: a + b)
+        assert rt.ecall("add", 2, 3) == 5
+        assert rt.stats["ecalls"] == 1
+
+    def test_ocall_dispatch(self):
+        rt = self.make()
+        rt.register_ocall("read_file", lambda name: f"data:{name}")
+        assert rt.ocall("read_file", "f") == "data:f"
+        assert rt.stats["ocalls"] == 1
+
+    def test_unregistered_call_raises(self):
+        rt = self.make()
+        with pytest.raises(EnclaveCallError, match="no ecall"):
+            rt.ecall("nope")
+        with pytest.raises(EnclaveCallError, match="no ocall"):
+            rt.ocall("nope")
+
+    def test_each_call_costs_two_crossings(self):
+        rt = self.make()
+        rt.register_ecall("noop", lambda: None)
+        t0 = rt.enclave.clock.now()
+        rt.ecall("noop")
+        elapsed = rt.enclave.clock.now() - t0
+        assert elapsed == pytest.approx(2 * SGX_EMLPM.sgx.transition_cost)
+        assert rt.stats["crossings"] == 2
+
+    def test_crossings_free_in_simulation_mode(self):
+        rt = self.make(enabled=False)
+        rt.register_ocall("noop", lambda: None)
+        rt.ocall("noop")
+        assert rt.enclave.clock.now() == 0.0
+
+
+class TestSealing:
+    def test_roundtrip(self):
+        enc = make_enclave()
+        blob = seal_data(enc, b"key material", b"device-key", SgxRandom(b"r"))
+        assert unseal_data(enc, blob, b"device-key") == b"key material"
+
+    def test_bound_to_measurement(self):
+        clock = SimClock()
+        enc_a = Enclave(clock, SGX_EMLPM.sgx, code_identity=b"A")
+        enc_b = Enclave(clock, SGX_EMLPM.sgx, code_identity=b"B")
+        blob = seal_data(enc_a, b"secret", b"devkey", SgxRandom(b"r"))
+        with pytest.raises(IntegrityError):
+            unseal_data(enc_b, blob, b"devkey")
+
+    def test_bound_to_platform(self):
+        enc = make_enclave()
+        blob = seal_data(enc, b"secret", b"platform-1", SgxRandom(b"r"))
+        with pytest.raises(IntegrityError):
+            unseal_data(enc, blob, b"platform-2")
+
+    def test_same_identity_other_instance_unseals(self):
+        """Sealing survives enclave restarts (same binary, same machine)."""
+        clock = SimClock()
+        enc1 = Enclave(clock, SGX_EMLPM.sgx, code_identity=b"app")
+        blob = seal_data(enc1, b"secret", b"devkey", SgxRandom(b"r"))
+        enc2 = Enclave(clock, SGX_EMLPM.sgx, code_identity=b"app")
+        assert unseal_data(enc2, blob, b"devkey") == b"secret"
+
+
+class TestAttestation:
+    def setup_method(self):
+        self.enclave = make_enclave()
+        self.qe = QuotingEnclave(b"platform-key")
+
+    def test_quote_verifies(self):
+        quote = self.qe.quote(self.enclave, b"report data")
+        assert self.qe.verify(quote)
+
+    def test_forged_quote_rejected(self):
+        quote = self.qe.quote(self.enclave, b"report data")
+        forged = type(quote)(
+            measurement=quote.measurement,
+            report_data=quote.report_data,
+            signature=b"\x00" * 32,
+        )
+        assert not self.qe.verify(forged)
+
+    def test_other_platform_key_rejected(self):
+        quote = self.qe.quote(self.enclave, b"x")
+        other = QuotingEnclave(b"other-key")
+        assert not other.verify(quote)
+
+    def test_report_data_limited_to_64_bytes(self):
+        with pytest.raises(ValueError, match="64 bytes"):
+            self.qe.quote(self.enclave, b"x" * 65)
+
+    def test_channel_established_and_encrypts(self):
+        owner, enclave_side = establish_channel(
+            self.enclave,
+            self.qe,
+            expected_measurement=self.enclave.measurement,
+            rand_enclave=SgxRandom(b"e"),
+            rand_owner=SgxRandom(b"o"),
+        )
+        key = b"K" * 16
+        wire = owner.send(key)
+        assert wire != key  # actually protected on the wire
+        assert enclave_side.receive(wire) == key
+
+    def test_channel_is_bidirectional(self):
+        owner, enclave_side = establish_channel(
+            self.enclave,
+            self.qe,
+            expected_measurement=self.enclave.measurement,
+            rand_enclave=SgxRandom(b"e"),
+            rand_owner=SgxRandom(b"o"),
+        )
+        assert owner.receive(enclave_side.send(b"ack")) == b"ack"
+
+    def test_wrong_measurement_aborts(self):
+        with pytest.raises(AttestationError, match="measurement"):
+            establish_channel(
+                self.enclave,
+                self.qe,
+                expected_measurement=b"\x00" * 32,
+                rand_enclave=SgxRandom(b"e"),
+                rand_owner=SgxRandom(b"o"),
+            )
