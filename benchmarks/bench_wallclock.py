@@ -1,0 +1,145 @@
+"""Wall-clock hot-path benchmark — emits the perf-regression baseline.
+
+Unlike the figure benchmarks (simulated seconds), this measures *real*
+elapsed time of mirror save/restore, im2col, and full train iterations,
+comparing the seed-era serial configuration against the parallel
+zero-copy pipeline.  Writes ``BENCH_wallclock.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py           # full run
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --smoke   # CI (<60 s)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.results import format_table
+from repro.bench.wallclock import (
+    BASELINE_FILENAME,
+    run_wallclock,
+    write_baseline,
+)
+from repro.crypto.parallel import shutdown_executors
+
+
+def _print_report(report) -> None:
+    print(
+        f"\nWall-clock hot paths — backend={report.crypto_backend}, "
+        f"cpu_count={report.cpu_count}, crypto_threads={report.crypto_threads}"
+        + (" [smoke]" if report.smoke else "")
+    )
+    print("\nMirror save/restore (serial seed path vs. parallel zero-copy):")
+    print(
+        format_table(
+            [
+                "layers", "model MB", "out serial ms", "out parallel ms",
+                "out x", "in serial ms", "in parallel ms", "in x", "identical",
+            ],
+            [
+                [
+                    r.layer_count,
+                    f"{r.model_bytes / (1 << 20):.1f}",
+                    f"{r.serial_out_seconds * 1e3:.1f}",
+                    f"{r.parallel_out_seconds * 1e3:.1f}",
+                    f"{r.out_speedup:.2f}",
+                    f"{r.serial_in_seconds * 1e3:.1f}",
+                    f"{r.parallel_in_seconds * 1e3:.1f}",
+                    f"{r.in_speedup:.2f}",
+                    "yes" if r.mirrors_identical else "NO",
+                ]
+                for r in report.mirror
+            ],
+        )
+    )
+    im = report.im2col
+    ti = report.train_iteration
+    print("\nim2col + train iteration (5-conv MNIST config):")
+    print(
+        format_table(
+            ["metric", "baseline ms", "optimized ms", "speedup"],
+            [
+                [
+                    f"fwd+bwd x{im.iters} (batch {im.batch})",
+                    f"{im.uncached_seconds * 1e3:.1f}",
+                    f"{im.cached_seconds * 1e3:.1f}",
+                    f"{im.speedup:.2f}",
+                ],
+                [
+                    f"train+mirror x{ti.iters}",
+                    f"{ti.baseline_seconds * 1e3:.1f}",
+                    f"{ti.optimized_seconds * 1e3:.1f}",
+                    f"{ti.speedup:.2f}",
+                ],
+            ],
+        )
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced-scale run for CI (<60 s); does not overwrite the baseline "
+        "unless --out is given",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help="crypto worker threads for the parallel configuration "
+        "(default: min(2, cpu_count) or REPRO_CRYPTO_THREADS, floor 2)",
+    )
+    parser.add_argument(
+        "--layers",
+        type=int,
+        nargs="+",
+        default=None,
+        help="Fig. 7 layer counts to sweep (default: 1 5 13; smoke: 1)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help=f"baseline JSON path (default: <repo>/{BASELINE_FILENAME}; "
+        "smoke runs skip writing unless set)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_wallclock(
+        smoke=args.smoke,
+        layer_counts=tuple(args.layers) if args.layers else None,
+        crypto_threads=args.threads,
+    )
+    _print_report(report)
+
+    out = args.out
+    if out is None and not args.smoke:
+        out = REPO_ROOT / BASELINE_FILENAME
+    if out is not None:
+        payload = write_baseline(report, str(out))
+        print(f"\nbaseline written to {out}")
+        criteria = payload["criteria"]
+        print(
+            "criteria: "
+            f"mirror_out x{criteria['mirror_out_speedup_largest_model']} "
+            f"(target {criteria['mirror_out_speedup_target']}), "
+            f"im2col x{criteria['im2col_speedup']} "
+            f"(target {criteria['im2col_speedup_target']}), "
+            f"mirrors identical: {criteria['mirrors_identical']}"
+        )
+    shutdown_executors()
+    failed = not all(r.mirrors_identical for r in report.mirror)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,15 @@ from repro.bench.fig9 import Fig9Result, run_fig9
 from repro.bench.fig10 import Fig10Result, run_fig10
 from repro.bench.inference import InferenceResult, run_inference
 from repro.bench.results import format_table
+from repro.bench.wallclock import (
+    Im2colWallclock,
+    MirrorWallclock,
+    TrainIterationWallclock,
+    WallclockReport,
+    load_baseline,
+    run_wallclock,
+    write_baseline,
+)
 
 __all__ = [
     "run_fig2_table",
@@ -33,4 +42,11 @@ __all__ = [
     "run_inference",
     "InferenceResult",
     "format_table",
+    "run_wallclock",
+    "write_baseline",
+    "load_baseline",
+    "WallclockReport",
+    "MirrorWallclock",
+    "Im2colWallclock",
+    "TrainIterationWallclock",
 ]

@@ -1,0 +1,452 @@
+"""Wall-clock performance harness — the repo's perf-regression baseline.
+
+Unlike every other harness in :mod:`repro.bench` (which report
+*simulated* seconds from the deterministic cost models), this one times
+**real elapsed time** of the hot paths:
+
+* ``mirror_out`` / ``mirror_in`` on the Fig. 7 model sizes, comparing
+  the seed-era serial configuration (``crypto_threads=1``,
+  ``zero_copy=False``: per-buffer ``bytes`` concatenation) against the
+  optimized pipeline (``crypto_threads>=2`` + zero-copy
+  ``seal_into``/``unseal_from``).  The harness also checks that both
+  configurations produce byte-identical PM mirrors (same deterministic
+  IV sequence).
+* one forward+backward training iteration of the 5-conv MNIST config,
+  comparing cached-im2col (memoized patch indices + strided-view
+  unroll) against the historical rebuild-on-every-call baseline.
+* a full train iteration (batch + compute + mirror) under the seed
+  configuration vs. the optimized one.
+
+``benchmarks/bench_wallclock.py`` drives this module and emits
+``BENCH_wallclock.json`` at the repository root; CI smoke-runs it so the
+harness cannot bit-rot.  Wall-clock numbers are host-dependent — the
+JSON records the host's CPU count and backend so regressions are only
+compared like-for-like.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+from hashlib import sha256
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.models import build_mnist_cnn, build_sized_cnn
+from repro.core.system import PliniusSystem
+from repro.crypto.engine import SEAL_OVERHEAD
+from repro.crypto.parallel import resolve_crypto_threads
+from repro.darknet import im2col as im2col_mod
+from repro.darknet.network import Network
+
+#: Layer counts of the Fig. 7 sweep exercised by the full harness; the
+#: largest matches the top of ``benchmarks/bench_fig7_mirroring.py``.
+DEFAULT_LAYER_COUNTS = (1, 5, 13)
+SMOKE_LAYER_COUNTS = (1,)
+
+BASELINE_FILENAME = "BENCH_wallclock.json"
+SCHEMA_VERSION = 1
+
+
+def _best_of(repeats: int, fn: Callable[[], None]) -> float:
+    """Minimum wall-clock seconds of ``repeats`` invocations of ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Mirror save/restore
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MirrorWallclock:
+    """Serial vs. parallel wall-clock timings for one model size."""
+
+    layer_count: int
+    model_bytes: int
+    buffers: int
+    repeats: int
+    crypto_threads: int
+    serial_out_seconds: float
+    parallel_out_seconds: float
+    serial_in_seconds: float
+    parallel_in_seconds: float
+    mirrors_identical: bool
+
+    @property
+    def out_speedup(self) -> float:
+        return self.serial_out_seconds / self.parallel_out_seconds
+
+    @property
+    def in_speedup(self) -> float:
+        return self.serial_in_seconds / self.parallel_in_seconds
+
+
+def _sized_system(
+    layer_count: int,
+    filters: int,
+    seed: int,
+    crypto_threads: int,
+    zero_copy: bool,
+) -> Tuple[PliniusSystem, Network]:
+    rng = np.random.default_rng((seed, layer_count))
+    per_layer = 4 * (filters * filters * 9 + 4 * filters)
+    network = build_sized_cnn(layer_count * per_layer, rng=rng, filters=filters)
+    n_buffers = len(network.parameter_buffers())
+    sealed_footprint = network.param_bytes + n_buffers * SEAL_OVERHEAD
+    pm_size = 2 * (sealed_footprint + (2 << 20)) + 8192
+    system = PliniusSystem.create(
+        server="emlSGX-PM",
+        seed=seed,
+        pm_size=pm_size,
+        crypto_threads=crypto_threads,
+        zero_copy=zero_copy,
+    )
+    system.enclave.malloc("model", network.param_bytes)
+    system.mirror.alloc_mirror_model(network)
+    return system, network
+
+
+def _time_mirror_config(
+    layer_count: int,
+    filters: int,
+    seed: int,
+    repeats: int,
+    crypto_threads: int,
+    zero_copy: bool,
+) -> Tuple[float, float, bytes, int, int]:
+    """(out_seconds, in_seconds, pm_digest, model_bytes, buffers)."""
+    system, network = _sized_system(
+        layer_count, filters, seed, crypto_threads, zero_copy
+    )
+    iteration = [0]
+
+    def save() -> None:
+        iteration[0] += 1
+        system.mirror.mirror_out(network, iteration[0])
+
+    def restore() -> None:
+        system.mirror.mirror_in(network)
+
+    save()  # warm caches / pools outside the timed region
+    out_seconds = _best_of(repeats, save)
+    restore()
+    in_seconds = _best_of(repeats, restore)
+    digest = sha256(bytes(system.pm._data)).digest()
+    return (
+        out_seconds,
+        in_seconds,
+        digest,
+        network.param_bytes,
+        len(network.parameter_buffers()),
+    )
+
+
+def measure_mirror_wallclock(
+    layer_count: int,
+    filters: int = 512,
+    repeats: int = 3,
+    seed: int = 7,
+    crypto_threads: Optional[int] = None,
+) -> MirrorWallclock:
+    """Compare the seed-era serial mirror path against the pipeline."""
+    threads = max(2, resolve_crypto_threads(crypto_threads))
+    serial_out, serial_in, serial_digest, model_bytes, buffers = (
+        _time_mirror_config(layer_count, filters, seed, repeats, 1, False)
+    )
+    parallel_out, parallel_in, parallel_digest, _, _ = _time_mirror_config(
+        layer_count, filters, seed, repeats, threads, True
+    )
+    return MirrorWallclock(
+        layer_count=layer_count,
+        model_bytes=model_bytes,
+        buffers=buffers,
+        repeats=repeats,
+        crypto_threads=threads,
+        serial_out_seconds=serial_out,
+        parallel_out_seconds=parallel_out,
+        serial_in_seconds=serial_in,
+        parallel_in_seconds=parallel_in,
+        mirrors_identical=serial_digest == parallel_digest,
+    )
+
+
+# ----------------------------------------------------------------------
+# im2col forward+backward
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Im2colWallclock:
+    """Cached vs. uncached im2col on the 5-conv MNIST config."""
+
+    n_conv_layers: int
+    filters: int
+    batch: int
+    iters: int
+    repeats: int
+    uncached_seconds: float
+    cached_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        return self.uncached_seconds / self.cached_seconds
+
+
+def _train_iters(network: Network, x: np.ndarray, y: np.ndarray, iters: int) -> None:
+    for _ in range(iters):
+        network.train_batch(x, y)
+
+
+def measure_im2col_wallclock(
+    n_conv_layers: int = 5,
+    filters: int = 16,
+    batch: int = 8,
+    iters: int = 4,
+    repeats: int = 3,
+    seed: int = 3,
+) -> Im2colWallclock:
+    """Time forward+backward with and without the im2col fast paths."""
+    rng = np.random.default_rng(seed)
+    x = rng.random((batch, 1, 28, 28)).astype(np.float32)
+    y = np.zeros((batch, 10), dtype=np.float32)
+    y[np.arange(batch), rng.integers(0, 10, batch)] = 1.0
+
+    timings = {}
+    for enabled in (False, True):
+        network = build_mnist_cnn(
+            n_conv_layers=n_conv_layers,
+            filters=filters,
+            batch=batch,
+            rng=np.random.default_rng(seed),
+        )
+        previous = im2col_mod.set_index_cache_enabled(enabled)
+        try:
+            im2col_mod.clear_patch_index_cache()
+            _train_iters(network, x, y, 1)  # warmup (and cache fill)
+            timings[enabled] = _best_of(
+                repeats, lambda: _train_iters(network, x, y, iters)
+            )
+        finally:
+            im2col_mod.set_index_cache_enabled(previous)
+    return Im2colWallclock(
+        n_conv_layers=n_conv_layers,
+        filters=filters,
+        batch=batch,
+        iters=iters,
+        repeats=repeats,
+        uncached_seconds=timings[False],
+        cached_seconds=timings[True],
+    )
+
+
+# ----------------------------------------------------------------------
+# Full train iteration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TrainIterationWallclock:
+    """Seed configuration vs. optimized pipeline for one train+mirror step."""
+
+    n_conv_layers: int
+    filters: int
+    batch: int
+    iters: int
+    repeats: int
+    crypto_threads: int
+    baseline_seconds: float
+    optimized_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_seconds / self.optimized_seconds
+
+
+def measure_train_iteration_wallclock(
+    n_conv_layers: int = 5,
+    filters: int = 16,
+    batch: int = 8,
+    iters: int = 2,
+    repeats: int = 2,
+    seed: int = 11,
+    crypto_threads: Optional[int] = None,
+) -> TrainIterationWallclock:
+    """Wall-clock of (train_batch + mirror_out) per configuration."""
+    threads = max(2, resolve_crypto_threads(crypto_threads))
+    rng = np.random.default_rng(seed)
+    x = rng.random((batch, 1, 28, 28)).astype(np.float32)
+    y = np.zeros((batch, 10), dtype=np.float32)
+    y[np.arange(batch), rng.integers(0, 10, batch)] = 1.0
+
+    timings = {}
+    for label, im2col_enabled, worker_count, zero_copy in (
+        ("baseline", False, 1, False),
+        ("optimized", True, threads, True),
+    ):
+        network = build_mnist_cnn(
+            n_conv_layers=n_conv_layers,
+            filters=filters,
+            batch=batch,
+            rng=np.random.default_rng(seed),
+        )
+        n_buffers = len(network.parameter_buffers())
+        pm_size = 2 * (
+            network.param_bytes + n_buffers * SEAL_OVERHEAD + (2 << 20)
+        ) + 8192
+        system = PliniusSystem.create(
+            server="emlSGX-PM",
+            seed=seed,
+            pm_size=pm_size,
+            crypto_threads=worker_count,
+            zero_copy=zero_copy,
+        )
+        system.enclave.malloc("model", network.param_bytes)
+        system.mirror.alloc_mirror_model(network)
+        iteration = [0]
+
+        def step() -> None:
+            for _ in range(iters):
+                network.train_batch(x, y)
+                iteration[0] += 1
+                system.mirror.mirror_out(network, iteration[0])
+
+        previous = im2col_mod.set_index_cache_enabled(im2col_enabled)
+        try:
+            im2col_mod.clear_patch_index_cache()
+            step()  # warmup
+            timings[label] = _best_of(repeats, step)
+        finally:
+            im2col_mod.set_index_cache_enabled(previous)
+    return TrainIterationWallclock(
+        n_conv_layers=n_conv_layers,
+        filters=filters,
+        batch=batch,
+        iters=iters,
+        repeats=repeats,
+        crypto_threads=threads,
+        baseline_seconds=timings["baseline"],
+        optimized_seconds=timings["optimized"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Top-level runner + baseline file
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WallclockReport:
+    """Everything the regression baseline records."""
+
+    smoke: bool
+    cpu_count: int
+    crypto_backend: str
+    crypto_threads: int
+    mirror: List[MirrorWallclock]
+    im2col: Im2colWallclock
+    train_iteration: TrainIterationWallclock
+
+    @property
+    def largest_mirror(self) -> MirrorWallclock:
+        return max(self.mirror, key=lambda r: r.model_bytes)
+
+    def to_dict(self) -> dict:
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "generated_by": "benchmarks/bench_wallclock.py",
+            "smoke": self.smoke,
+            "host": {
+                "cpu_count": self.cpu_count,
+                "crypto_backend": self.crypto_backend,
+                "crypto_threads": self.crypto_threads,
+            },
+            "serial_config": {"crypto_threads": 1, "zero_copy": False},
+            "parallel_config": {
+                "crypto_threads": self.crypto_threads,
+                "zero_copy": True,
+            },
+            "mirror": [
+                {
+                    **asdict(r),
+                    "out_speedup": round(r.out_speedup, 3),
+                    "in_speedup": round(r.in_speedup, 3),
+                }
+                for r in self.mirror
+            ],
+            "im2col": {
+                **asdict(self.im2col),
+                "speedup": round(self.im2col.speedup, 3),
+            },
+            "train_iteration": {
+                **asdict(self.train_iteration),
+                "speedup": round(self.train_iteration.speedup, 3),
+            },
+        }
+        largest = self.largest_mirror
+        payload["criteria"] = {
+            "mirror_out_speedup_largest_model": round(largest.out_speedup, 3),
+            "mirror_out_speedup_target": 1.5,
+            "im2col_speedup": round(self.im2col.speedup, 3),
+            "im2col_speedup_target": 1.3,
+            "mirrors_identical": all(r.mirrors_identical for r in self.mirror),
+        }
+        return payload
+
+
+def run_wallclock(
+    smoke: bool = False,
+    layer_counts: Optional[Sequence[int]] = None,
+    crypto_threads: Optional[int] = None,
+    seed: int = 7,
+) -> WallclockReport:
+    """Run every wall-clock measurement; ``smoke`` shrinks all knobs."""
+    from repro.crypto.backend import default_backend
+
+    threads = max(2, resolve_crypto_threads(crypto_threads))
+    if layer_counts is None:
+        layer_counts = SMOKE_LAYER_COUNTS if smoke else DEFAULT_LAYER_COUNTS
+    mirror_repeats = 1 if smoke else 3
+    mirror = [
+        measure_mirror_wallclock(
+            n,
+            repeats=mirror_repeats,
+            seed=seed,
+            crypto_threads=threads,
+        )
+        for n in layer_counts
+    ]
+    im2col = measure_im2col_wallclock(
+        iters=2 if smoke else 4, repeats=1 if smoke else 3
+    )
+    train_iteration = measure_train_iteration_wallclock(
+        iters=1 if smoke else 2,
+        repeats=1 if smoke else 2,
+        crypto_threads=threads,
+    )
+    return WallclockReport(
+        smoke=smoke,
+        cpu_count=os.cpu_count() or 1,
+        crypto_backend=default_backend().name,
+        crypto_threads=threads,
+        mirror=mirror,
+        im2col=im2col,
+        train_iteration=train_iteration,
+    )
+
+
+def write_baseline(report: WallclockReport, path: str) -> dict:
+    """Serialize ``report`` to ``path``; returns the written payload."""
+    payload = report.to_dict()
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return payload
+
+
+def load_baseline(path: str) -> Optional[dict]:
+    """Read a previously written baseline, or None if absent."""
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)

@@ -17,16 +17,46 @@ in persistent memory:
 
 Timing is split into the phases Table Ia reports: encrypt vs. write for
 saves, read vs. decrypt for restores.
+
+Wall-clock hot path
+-------------------
+The per-buffer AES-GCM work is independent across buffers, so with
+``crypto_threads > 1`` the module fans sealing/unsealing across a shared
+``ThreadPoolExecutor`` (the OpenSSL backend releases the GIL — the
+paper's Section VIII "better exploit system parallelism" future work).
+IVs are drawn serially in buffer order *before* dispatch, so the sealed
+output is byte-identical to the serial path; all simulated-time charges
+stay on the main thread, with the encrypt/decrypt phase charged as the
+makespan of the per-buffer jobs over ``crypto_threads`` workers
+(:meth:`~repro.simtime.costs.CryptoCostModel.parallel_encrypt_seconds`).
+With ``crypto_threads=1`` the legacy per-buffer accounting is used
+unchanged, so single-threaded simulated totals are bit-identical to the
+pre-pipeline implementation.
+
+With ``zero_copy=True`` (the default) sealing writes ``ciphertext ‖ IV
+‖ MAC`` straight into the buffer's PM slot via
+:meth:`~repro.crypto.engine.EncryptionEngine.seal_into` over a
+``region.staging_view`` (no ``bytes`` concatenation, no staging copy —
+the transaction accounts the range with ``write_prefilled``), restores
+decrypt straight from a readonly view of the PM image, and unsealing
+writes directly into the live numpy parameter arrays via
+:meth:`~repro.crypto.engine.EncryptionEngine.unseal_from`.  Neither
+switch changes the mirror bytes, the simulated-time totals, or the
+Romulus single-transaction commit semantics — a crash anywhere still
+recovers to the pre-transaction mirror (in-place-sealed slots are
+volatile until ``write_prefilled`` flushes them).
 """
 
 from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 
 from repro.crypto.engine import SEAL_OVERHEAD, EncryptionEngine
+from repro.crypto.parallel import MAX_CRYPTO_THREADS, get_executor
 from repro.darknet.network import Network
 from repro.romulus.alloc import PersistentHeap
 from repro.romulus.region import RomulusRegion
@@ -59,8 +89,44 @@ class MirrorError(RuntimeError):
     """Raised for structural mismatches between enclave and PM models."""
 
 
+@dataclass
+class _SealJob:
+    """One parameter buffer queued for (possibly parallel) sealing."""
+
+    name: str
+    plaintext: object  # bytes (copy path) or memoryview (zero-copy path)
+    nbytes: int
+    iv: bytes = b""
+    sealed: object = None  # bytes/bytearray once sealed; None if in place
+    dest: Optional[memoryview] = None  # PM slot staging view (zero-copy)
+
+
+@dataclass
+class _UnsealJob:
+    """One sealed blob queued for (possibly parallel) unsealing."""
+
+    layer: object
+    name: str
+    target: np.ndarray
+    blob: object  # bytes (copy path) or readonly memoryview of PM
+    out_view: Optional[memoryview] = None
+
+
 class MirrorModule:
-    """Synchronizes an enclave model with its encrypted PM mirror."""
+    """Synchronizes an enclave model with its encrypted PM mirror.
+
+    Parameters
+    ----------
+    crypto_threads:
+        Worker threads for the sealing/unsealing pipeline.  ``1``
+        (default) runs fully serial with legacy per-buffer simulated
+        accounting; higher values fan the AES-GCM work across a shared
+        thread pool.
+    zero_copy:
+        Use the ``seal_into``/``unseal_from`` buffer-reuse fast path.
+        Disable to reproduce the historical allocate-and-concatenate
+        behavior (benchmark baseline).
+    """
 
     def __init__(
         self,
@@ -69,13 +135,21 @@ class MirrorModule:
         engine: EncryptionEngine,
         enclave: Enclave,
         profile: ServerProfile,
+        crypto_threads: int = 1,
+        zero_copy: bool = True,
     ) -> None:
+        if crypto_threads < 1:
+            raise ValueError(
+                f"crypto_threads must be >= 1, got {crypto_threads}"
+            )
         self.region = region
         self.heap = heap
         self.engine = engine
         self.enclave = enclave
         self.profile = profile
         self.clock = region.device.clock
+        self.crypto_threads = min(crypto_threads, MAX_CRYPTO_THREADS)
+        self.zero_copy = zero_copy
 
     # ------------------------------------------------------------------
     # Structure
@@ -184,6 +258,144 @@ class MirrorModule:
         ]
 
     # ------------------------------------------------------------------
+    # Sealing pipeline helpers
+    # ------------------------------------------------------------------
+    def _mirror_layout(self, model: int):
+        """Walk the persistent layer list once: header + per-layer refs."""
+        iteration, num_layers, head = _MODEL_HEADER.unpack(
+            self.region.read(model, _MODEL_HEADER.size)
+        )
+        layout = []
+        node = head
+        while node:
+            nxt, nbuf = _LAYER_FIXED.unpack(
+                self.region.read(node, _LAYER_FIXED.size)
+            )
+            layout.append(self._buffer_refs(node, nbuf))
+            node = nxt
+        return num_layers, head, layout
+
+    def _slot_view(self, refs, index: int, sealed_size: int):
+        """Writable PM staging view for buffer ``index``, when it fits.
+
+        Returns ``None`` (fall back to staging in DRAM) on any shape
+        mismatch — the write phase then raises the same structural
+        errors as the copy path.
+        """
+        if refs is None or index >= len(refs):
+            return None
+        size, offset = refs[index]
+        if size != sealed_size:
+            return None
+        return self.region.staging_view(offset, size)
+
+    def _seal_serial(self, network: Network, slots=None) -> List[List[object]]:
+        """Single-threaded sealing with legacy per-buffer accounting.
+
+        ``slots`` (zero-copy mode) holds per-layer PM buffer refs; a
+        buffer sealed directly into its PM slot is reported as ``None``
+        in the result row — the write phase accounts it with
+        ``write_prefilled`` instead of copying.
+        """
+        crypto = self.profile.crypto
+        sealed_layers: List[List[object]] = []
+        row_idx = 0
+        for layer in network.layers:
+            buffers = layer.parameter_buffers()
+            if not buffers:
+                continue
+            refs = slots[row_idx] if slots is not None else None
+            row_idx += 1
+            sealed: List[object] = []
+            for i, (name, arr) in enumerate(buffers):
+                contig = np.ascontiguousarray(arr, np.float32)
+                # Reading the model out of (possibly paged) EPC memory.
+                self.enclave.touch(contig.nbytes)
+                self.clock.advance(crypto.encrypt_time(contig.nbytes))
+                if self.zero_copy:
+                    sealed_size = contig.nbytes + SEAL_OVERHEAD
+                    dest = self._slot_view(refs, i, sealed_size)
+                    if dest is None:
+                        dest = bytearray(sealed_size)
+                        marker: object = dest
+                    else:
+                        marker = None  # sealed in place on PM
+                    self.engine.seal_into(
+                        memoryview(contig).cast("B"), dest, aad=name.encode()
+                    )
+                    sealed.append(marker)
+                else:
+                    sealed.append(
+                        self.engine.seal(contig.tobytes(), aad=name.encode())
+                    )
+            sealed_layers.append(sealed)
+        return sealed_layers
+
+    def _seal_parallel(self, network: Network, slots=None) -> List[List[object]]:
+        """Fan per-buffer sealing across the shared crypto thread pool.
+
+        IVs are drawn serially in buffer order (identical to the serial
+        path) before dispatch; the encrypt phase charges the makespan of
+        the per-buffer jobs over ``crypto_threads`` simulated workers.
+        """
+        crypto = self.profile.crypto
+        layer_rows: List[List[_SealJob]] = []
+        jobs: List[_SealJob] = []
+        row_idx = 0
+        for layer in network.layers:
+            buffers = layer.parameter_buffers()
+            if not buffers:
+                continue
+            refs = slots[row_idx] if slots is not None else None
+            row_idx += 1
+            row = []
+            for i, (name, arr) in enumerate(buffers):
+                contig = np.ascontiguousarray(arr, np.float32)
+                if self.zero_copy:
+                    plaintext: object = memoryview(contig).cast("B")
+                else:
+                    plaintext = contig.tobytes()
+                job = _SealJob(name=name, plaintext=plaintext, nbytes=contig.nbytes)
+                if self.zero_copy:
+                    job.dest = self._slot_view(
+                        refs, i, contig.nbytes + SEAL_OVERHEAD
+                    )
+                row.append(job)
+                jobs.append(job)
+            layer_rows.append(row)
+
+        # Deterministic simulated accounting, all on the main thread.
+        for job in jobs:
+            self.enclave.touch(job.nbytes)
+        self.clock.advance(
+            crypto.parallel_encrypt_seconds(
+                [job.nbytes for job in jobs], self.crypto_threads
+            )
+        )
+        # IV order is part of the sealed output: draw before dispatch.
+        for job in jobs:
+            job.iv = self.engine.new_iv()
+
+        zero_copy = self.zero_copy
+        engine = self.engine
+
+        def run(job: _SealJob) -> None:
+            aad = job.name.encode()
+            if zero_copy:
+                dest = job.dest
+                if dest is None:
+                    dest = bytearray(job.nbytes + SEAL_OVERHEAD)
+                    job.sealed = dest
+                engine.seal_into(job.plaintext, dest, aad=aad, iv=job.iv)
+            else:
+                job.sealed = engine.seal(job.plaintext, aad=aad, iv=job.iv)
+
+        pool = get_executor(self.crypto_threads)
+        for _ in pool.map(run, jobs):
+            pass
+        return [[job.sealed for job in row] for row in layer_rows]
+
+    # ------------------------------------------------------------------
     # Algorithm 3: mirror_out / mirror_in
     # ------------------------------------------------------------------
     def mirror_out(self, network: Network, iteration: int) -> MirrorTiming:
@@ -195,59 +407,114 @@ class MirrorModule:
                 f"enclave model has {len(plan)} parameterized layers, "
                 f"PM mirror has {self.stored_num_layers()}"
             )
-        crypto = self.profile.crypto
+
+        # Walk the persistent layer list up front so the zero-copy path
+        # can seal directly into the PM slots; the traversal reads are
+        # storage work and counted into the write phase.
+        model = self.region.root(MODEL_ROOT)
+        with self.clock.stopwatch("layout") as layout_span:
+            num_layers, head, layout = self._mirror_layout(model)
 
         # Phase 1 — encrypt in the enclave (Table Ia "Encrypt").
+        slots = layout if self.zero_copy else None
         with self.clock.stopwatch("encrypt") as encrypt_span:
-            sealed_layers = []
-            for layer in network.layers:
-                buffers = layer.parameter_buffers()
-                if not buffers:
-                    continue
-                sealed = []
-                for name, arr in buffers:
-                    plaintext = np.ascontiguousarray(arr, np.float32).tobytes()
-                    # Reading the model out of (possibly paged) EPC memory.
-                    self.enclave.touch(len(plaintext))
-                    self.clock.advance(crypto.encrypt_time(len(plaintext)))
-                    sealed.append(
-                        self.engine.seal(plaintext, aad=name.encode())
-                    )
-                sealed_layers.append(sealed)
+            if self.crypto_threads == 1:
+                sealed_layers = self._seal_serial(network, slots)
+            else:
+                sealed_layers = self._seal_parallel(network, slots)
 
         # Phase 2 — write to PM in one durable transaction ("Write").
+        prefilled: List[tuple] = []
         with self.clock.stopwatch("write") as write_span:
-            model = self.region.root(MODEL_ROOT)
-            with self.region.begin_transaction() as tx:
-                _, num_layers, head = _MODEL_HEADER.unpack(
-                    self.region.read(model, _MODEL_HEADER.size)
-                )
-                tx.write(
-                    model, _MODEL_HEADER.pack(iteration, num_layers, head)
-                )
-                node = head
-                for sealed in sealed_layers:
-                    nxt, nbuf = _LAYER_FIXED.unpack(
-                        self.region.read(node, _LAYER_FIXED.size)
+            try:
+                with self.region.begin_transaction() as tx:
+                    tx.write(
+                        model, _MODEL_HEADER.pack(iteration, num_layers, head)
                     )
-                    refs = self._buffer_refs(node, nbuf)
-                    if nbuf != len(sealed):
-                        raise MirrorError(
-                            f"PM layer node has {nbuf} buffers, "
-                            f"enclave layer has {len(sealed)}"
-                        )
-                    for (size, offset), blob in zip(refs, sealed):
-                        if len(blob) != size:
+                    for refs, sealed in zip(layout, sealed_layers):
+                        if len(refs) != len(sealed):
                             raise MirrorError(
-                                f"sealed buffer is {len(blob)} bytes, "
-                                f"PM slot holds {size}"
+                                f"PM layer node has {len(refs)} buffers, "
+                                f"enclave layer has {len(sealed)}"
                             )
-                        tx.write(offset, blob)
-                    node = nxt
+                        for (size, offset), blob in zip(refs, sealed):
+                            if blob is None:  # sealed in place on PM
+                                prefilled.append((offset, size))
+                                tx.write_prefilled(offset, size)
+                            else:
+                                if len(blob) != size:
+                                    raise MirrorError(
+                                        f"sealed buffer is {len(blob)} bytes, "
+                                        f"PM slot holds {size}"
+                                    )
+                                tx.write(offset, blob)
+            except BaseException:
+                # The aborting transaction restored every *logged* range
+                # from the back twin, but in-place-sealed slots that were
+                # not yet accounted still hold new bytes in the volatile
+                # image.  Best-effort restore so a caller that survives
+                # the exception sees the old mirror; a crash/recover
+                # wipes them regardless (they were never flushed).
+                if self.zero_copy:
+                    try:
+                        self._restore_prefilled_slots(layout, prefilled)
+                    except BaseException:
+                        pass  # a second fault: caller must crash + recover
+                raise
         return MirrorTiming(
             crypto_seconds=encrypt_span.elapsed,
-            storage_seconds=write_span.elapsed,
+            storage_seconds=layout_span.elapsed + write_span.elapsed,
         )
+
+    def _restore_prefilled_slots(self, layout, accounted) -> None:
+        """Roll back in-place-sealed slots after an aborted mirror_out.
+
+        Ranges already accounted through ``write_prefilled`` were logged
+        and restored by the abort; every other slot that may have been
+        sealed in place is re-copied from the back twin.
+        """
+        device = self.region.device
+        done = set(accounted)
+        for refs in layout:
+            for size, offset in refs:
+                if (offset, size) in done:
+                    continue
+                device.copy_within(
+                    self.region.back_base + offset,
+                    self.region.main_base + offset,
+                    size,
+                )
+
+    # ------------------------------------------------------------------
+    # Unsealing pipeline helpers
+    # ------------------------------------------------------------------
+    def _decrypt_target_view(
+        self, arr: np.ndarray, plaintext_size: int
+    ) -> Optional[memoryview]:
+        """A writable byte view over a live parameter array, when safe.
+
+        Returns ``None`` (fall back to the copy path) if the array is
+        not plainly overwritable in place.
+        """
+        if (
+            arr.dtype == np.float32
+            and arr.flags.c_contiguous
+            and arr.flags.writeable
+            and arr.nbytes == plaintext_size
+        ):
+            return memoryview(arr).cast("B")
+        return None
+
+    def _unseal_into(self, job: _UnsealJob) -> None:
+        """Decrypt one blob into its target parameter array."""
+        aad = job.name.encode()
+        if job.out_view is not None:
+            self.engine.unseal_from(job.blob, job.out_view, aad=aad)
+        else:
+            plaintext = self.engine.unseal(job.blob, aad=aad)
+            job.layer.set_parameter(
+                job.name, np.frombuffer(plaintext, dtype=np.float32)
+            )
 
     def mirror_in(self, network: Network) -> MirrorTiming:
         """Restore the enclave model from its PM mirror (decrypt inside).
@@ -278,7 +545,12 @@ class MirrorModule:
                 )
                 blobs = []
                 for size, offset in self._buffer_refs(node, nbuf):
-                    blob = self.region.read(offset, size)
+                    if self.zero_copy:
+                        # Zero-copy: decrypt straight from the PM image.
+                        # Same simulated read cost; no host-side copy.
+                        blob: object = self.region.read_view(offset, size)
+                    else:
+                        blob = self.region.read(offset, size)
                     self.enclave.copy_in(size)
                     blobs.append(blob)
                 sealed_layers.append(blobs)
@@ -287,6 +559,7 @@ class MirrorModule:
         # Phase 2 — decrypt into the enclave model ("Decrypt").
         with self.clock.stopwatch("decrypt") as decrypt_span:
             layer_iter = iter(sealed_layers)
+            jobs: List[_UnsealJob] = []
             for layer in network.layers:
                 buffers = layer.parameter_buffers()
                 if not buffers:
@@ -298,13 +571,34 @@ class MirrorModule:
                         f"expected, {len(blobs)} mirrored"
                     )
                 for (name, arr), blob in zip(buffers, blobs):
-                    self.clock.advance(
-                        crypto.decrypt_time(len(blob) - SEAL_OVERHEAD)
+                    plaintext_size = len(blob) - SEAL_OVERHEAD
+                    out_view = (
+                        self._decrypt_target_view(arr, plaintext_size)
+                        if self.zero_copy
+                        else None
                     )
-                    plaintext = self.engine.unseal(blob, aad=name.encode())
-                    layer.set_parameter(
-                        name, np.frombuffer(plaintext, dtype=np.float32)
+                    job = _UnsealJob(
+                        layer=layer,
+                        name=name,
+                        target=arr,
+                        blob=blob,
+                        out_view=out_view,
                     )
+                    if self.crypto_threads == 1:
+                        self.clock.advance(crypto.decrypt_time(plaintext_size))
+                        self._unseal_into(job)
+                    else:
+                        jobs.append(job)
+            if jobs:
+                self.clock.advance(
+                    crypto.parallel_decrypt_seconds(
+                        [len(j.blob) - SEAL_OVERHEAD for j in jobs],
+                        self.crypto_threads,
+                    )
+                )
+                pool = get_executor(self.crypto_threads)
+                for _ in pool.map(self._unseal_into, jobs):
+                    pass
         network.iteration = iteration
         return MirrorTiming(
             crypto_seconds=decrypt_span.elapsed,

@@ -61,7 +61,11 @@ class PliniusSystem:
         rand: SgxRandom,
         key: bytes,
         seed: int,
+        crypto_threads: int = 1,
+        zero_copy: bool = True,
     ) -> None:
+        self.crypto_threads = crypto_threads
+        self.zero_copy = zero_copy
         self.profile = profile
         self.clock = clock
         self.pm = pm
@@ -90,8 +94,14 @@ class PliniusSystem:
         seed: int = 7,
         pm_size: int = _DEFAULT_PM_SIZE,
         key: Optional[bytes] = None,
+        crypto_threads: int = 1,
+        zero_copy: bool = True,
     ) -> "PliniusSystem":
-        """Stand up a fresh deployment on the named server profile."""
+        """Stand up a fresh deployment on the named server profile.
+
+        ``crypto_threads``/``zero_copy`` configure the mirroring
+        module's sealing pipeline (see :class:`~repro.core.mirror.MirrorModule`).
+        """
         profile = get_profile(server)
         clock = SimClock()
         rand = SgxRandom(seed.to_bytes(8, "big"))
@@ -109,7 +119,18 @@ class PliniusSystem:
         dram = VolatileMemory(clock, profile.dram)
         if key is None:
             key = EncryptionEngine.generate_key(rand)
-        return cls(profile, clock, pm, ssd, dram, rand, key, seed)
+        return cls(
+            profile,
+            clock,
+            pm,
+            ssd,
+            dram,
+            rand,
+            key,
+            seed,
+            crypto_threads=crypto_threads,
+            zero_copy=zero_copy,
+        )
 
     def _attach_enclave(self) -> None:
         self.enclave = Enclave(self.clock, self.profile.sgx)
@@ -125,7 +146,13 @@ class PliniusSystem:
             self.region = RomulusRegion.open(self.pm)
         self.heap = PersistentHeap(self.region)
         self.mirror = MirrorModule(
-            self.region, self.heap, self.engine, self.enclave, self.profile
+            self.region,
+            self.heap,
+            self.engine,
+            self.enclave,
+            self.profile,
+            crypto_threads=self.crypto_threads,
+            zero_copy=self.zero_copy,
         )
         self.pm_data = PmDataModule(
             self.region, self.heap, self.engine, self.enclave, self.profile

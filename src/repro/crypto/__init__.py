@@ -16,11 +16,15 @@ Intel SGX SDK implementation.  This package provides:
 
 from repro.crypto.aes import AES
 from repro.crypto.backend import (
+    BACKEND_ENV_VAR,
     AeadBackend,
     CryptographyBackend,
     IntegrityError,
     PureBackend,
     default_backend,
+    make_backend,
+    reset_default_backend,
+    set_default_backend,
 )
 from repro.crypto.engine import (
     IV_SIZE,
@@ -30,6 +34,13 @@ from repro.crypto.engine import (
     EncryptionEngine,
 )
 from repro.crypto.gcm import gcm_decrypt, gcm_encrypt, ghash
+from repro.crypto.parallel import (
+    MAX_CRYPTO_THREADS,
+    THREADS_ENV_VAR,
+    get_executor,
+    resolve_crypto_threads,
+    shutdown_executors,
+)
 
 __all__ = [
     "AES",
@@ -38,6 +49,15 @@ __all__ = [
     "CryptographyBackend",
     "IntegrityError",
     "default_backend",
+    "make_backend",
+    "set_default_backend",
+    "reset_default_backend",
+    "BACKEND_ENV_VAR",
+    "THREADS_ENV_VAR",
+    "MAX_CRYPTO_THREADS",
+    "get_executor",
+    "resolve_crypto_threads",
+    "shutdown_executors",
     "gcm_encrypt",
     "gcm_decrypt",
     "ghash",

@@ -10,15 +10,41 @@ Two implementations of the same interface:
   functional experiments (which encrypt megabytes of model weights per
   mirror operation) run at practical wall-clock speed.
 
+Besides the plain ``encrypt``/``decrypt`` pair, backends expose
+``encrypt_into``/``decrypt_into`` variants that write their output into
+a caller-provided buffer.  The base class supplies a correct
+copy-through default; :class:`CryptographyBackend` overrides both with
+OpenSSL ``update_into`` so the mirroring hot path can seal directly
+into persistent-memory staging buffers without intermediate ``bytes``
+allocations.  OpenSSL releases the GIL during bulk cipher work, which
+is what makes the parallel sealing pipeline in
+:mod:`repro.core.mirror` a real multi-core win.
+
+The process-wide default backend can be pinned with
+:func:`set_default_backend` / :func:`reset_default_backend`, or via the
+``REPRO_CRYPTO_BACKEND`` environment variable (``pure`` or
+``cryptography``), so tests and benchmarks do not have to mutate module
+globals by hand.
+
 The test suite cross-validates the two backends on random inputs.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Optional, Tuple
+import os
+from typing import Optional, Tuple, Union
 
 from repro.crypto import gcm as _gcm
+
+#: Environment variable naming the backend to use process-wide.
+BACKEND_ENV_VAR = "REPRO_CRYPTO_BACKEND"
+
+# ``update_into`` requires the output buffer to extend block_size - 1
+# bytes past the data being written (OpenSSL may buffer a partial
+# block); sealed-buffer slots always have >= 28 spare bytes, and
+# ``decrypt_into`` routes the final bytes through a bounce buffer.
+_UPDATE_INTO_SLACK = 15
 
 
 class IntegrityError(Exception):
@@ -41,6 +67,45 @@ class AeadBackend(abc.ABC):
         self, key: bytes, iv: bytes, ciphertext: bytes, tag: bytes, aad: bytes = b""
     ) -> bytes:
         """Return the plaintext; raise :class:`IntegrityError` on tag mismatch."""
+
+    def encrypt_into(
+        self,
+        key: bytes,
+        iv: bytes,
+        plaintext: bytes,
+        out: memoryview,
+        aad: bytes = b"",
+    ) -> bytes:
+        """Encrypt ``plaintext`` into ``out[:len(plaintext)]``; return the tag.
+
+        ``out`` must be a writable buffer of at least
+        ``len(plaintext) + 15`` bytes (cipher-block slack).  The default
+        implementation round-trips through :meth:`encrypt`.
+        """
+        ciphertext, tag = self.encrypt(key, iv, bytes(plaintext), aad)
+        out[: len(ciphertext)] = ciphertext
+        return tag
+
+    def decrypt_into(
+        self,
+        key: bytes,
+        iv: bytes,
+        ciphertext: bytes,
+        tag: bytes,
+        out: memoryview,
+        aad: bytes = b"",
+    ) -> int:
+        """Decrypt into ``out[:len(ciphertext)]``; return the byte count.
+
+        Raises :class:`IntegrityError` on tag mismatch.  ``out`` may be
+        exactly ``len(ciphertext)`` bytes.  Note the GCM caveat: the
+        plaintext has already been written into ``out`` when a tag
+        mismatch is detected — callers must treat ``out`` as garbage if
+        this raises.
+        """
+        plaintext = self.decrypt(key, iv, bytes(ciphertext), tag, aad)
+        out[: len(plaintext)] = plaintext
+        return len(plaintext)
 
 
 class PureBackend(AeadBackend):
@@ -68,9 +133,19 @@ class CryptographyBackend(AeadBackend):
     name = "cryptography"
 
     def __init__(self) -> None:
+        from cryptography.exceptions import InvalidTag
+        from cryptography.hazmat.primitives.ciphers import (
+            Cipher,
+            algorithms,
+            modes,
+        )
         from cryptography.hazmat.primitives.ciphers.aead import AESGCM
 
         self._aesgcm_cls = AESGCM
+        self._cipher_cls = Cipher
+        self._aes_cls = algorithms.AES
+        self._gcm_cls = modes.GCM
+        self._invalid_tag_cls = InvalidTag
 
     def encrypt(
         self, key: bytes, iv: bytes, plaintext: bytes, aad: bytes = b""
@@ -81,23 +156,122 @@ class CryptographyBackend(AeadBackend):
     def decrypt(
         self, key: bytes, iv: bytes, ciphertext: bytes, tag: bytes, aad: bytes = b""
     ) -> bytes:
-        from cryptography.exceptions import InvalidTag
-
         try:
             return self._aesgcm_cls(key).decrypt(iv, ciphertext + tag, aad or None)
-        except InvalidTag as exc:
+        except self._invalid_tag_cls as exc:
             raise IntegrityError("GCM authentication tag mismatch") from exc
 
+    def encrypt_into(
+        self,
+        key: bytes,
+        iv: bytes,
+        plaintext: bytes,
+        out: memoryview,
+        aad: bytes = b"",
+    ) -> bytes:
+        encryptor = self._cipher_cls(self._aes_cls(key), self._gcm_cls(iv)).encryptor()
+        if aad:
+            encryptor.authenticate_additional_data(aad)
+        n = len(plaintext)
+        written = encryptor.update_into(plaintext, out[: n + _UPDATE_INTO_SLACK])
+        encryptor.finalize()
+        if written != n:  # pragma: no cover - GCM is a stream mode
+            raise RuntimeError(f"GCM wrote {written} of {n} bytes")
+        return encryptor.tag
+
+    def decrypt_into(
+        self,
+        key: bytes,
+        iv: bytes,
+        ciphertext: bytes,
+        tag: bytes,
+        out: memoryview,
+        aad: bytes = b"",
+    ) -> int:
+        decryptor = self._cipher_cls(
+            self._aes_cls(key), self._gcm_cls(iv, bytes(tag))
+        ).decryptor()
+        if aad:
+            decryptor.authenticate_additional_data(aad)
+        ct = memoryview(ciphertext)
+        n = len(ct)
+        # ``out`` may be exactly n bytes, but update_into demands 15
+        # bytes of slack past the data: stream all but the final bytes
+        # directly, bounce the tail through a small scratch buffer.
+        head = max(0, n - _UPDATE_INTO_SLACK)
+        written = 0
+        if head:
+            written = decryptor.update_into(ct[:head], out[:n])
+        scratch = bytearray(2 * _UPDATE_INTO_SLACK)
+        tail = decryptor.update_into(ct[head:], scratch) if head < n else 0
+        try:
+            decryptor.finalize()
+        except self._invalid_tag_cls as exc:
+            raise IntegrityError("GCM authentication tag mismatch") from exc
+        out[written : written + tail] = scratch[:tail]
+        if written + tail != n:  # pragma: no cover - GCM is a stream mode
+            raise RuntimeError(f"GCM wrote {written + tail} of {n} bytes")
+        return n
+
+
+_BACKEND_FACTORIES = {
+    "pure": PureBackend,
+    "pure-python": PureBackend,
+    "cryptography": CryptographyBackend,
+}
 
 _default: Optional[AeadBackend] = None
 
 
+def make_backend(name: str) -> AeadBackend:
+    """Instantiate a backend by name (``pure`` or ``cryptography``)."""
+    try:
+        factory = _BACKEND_FACTORIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown crypto backend {name!r}; "
+            f"choose from {sorted(set(_BACKEND_FACTORIES))}"
+        ) from None
+    return factory()
+
+
+def set_default_backend(backend: Union[AeadBackend, str]) -> AeadBackend:
+    """Pin the process-wide default backend; returns the instance.
+
+    Accepts an :class:`AeadBackend` instance or a name understood by
+    :func:`make_backend`.
+    """
+    global _default
+    if isinstance(backend, str):
+        backend = make_backend(backend)
+    if not isinstance(backend, AeadBackend):
+        raise TypeError(f"not an AeadBackend: {backend!r}")
+    _default = backend
+    return backend
+
+
+def reset_default_backend() -> None:
+    """Drop any pinned default; the next :func:`default_backend` call
+    re-resolves from ``REPRO_CRYPTO_BACKEND`` or auto-detection."""
+    global _default
+    _default = None
+
+
 def default_backend() -> AeadBackend:
-    """The process-wide default backend (fast when available)."""
+    """The process-wide default backend (fast when available).
+
+    Resolution order: a backend pinned via :func:`set_default_backend`,
+    then the ``REPRO_CRYPTO_BACKEND`` environment variable, then
+    :class:`CryptographyBackend` if importable, else :class:`PureBackend`.
+    """
     global _default
     if _default is None:
-        try:
-            _default = CryptographyBackend()
-        except ImportError:
-            _default = PureBackend()
+        env = os.environ.get(BACKEND_ENV_VAR, "").strip()
+        if env:
+            _default = make_backend(env)
+        else:
+            try:
+                _default = CryptographyBackend()
+            except ImportError:
+                _default = PureBackend()
     return _default

@@ -8,12 +8,29 @@ metadata per sealed buffer — the paper's "CPU and memory overhead"
 section counts 140 B of PM metadata per layer from 5 buffers/layer.
 
 Sealed layout: ``ciphertext ‖ IV (12 B) ‖ MAC (16 B)``.
+
+Two API generations coexist:
+
+* :meth:`EncryptionEngine.seal` / :meth:`EncryptionEngine.unseal` —
+  allocate and return ``bytes`` (simple, copies freely);
+* :meth:`EncryptionEngine.seal_into` / :meth:`EncryptionEngine.unseal_from`
+  — write ciphertext/plaintext directly into a caller-provided writable
+  buffer (a ``memoryview`` over a PM staging area or a live numpy
+  parameter array), eliminating the per-buffer ``bytes`` concatenations
+  on the mirroring hot path.
+
+Both generations accept an explicit ``iv`` so callers that fan sealing
+work across threads can draw IVs from the (deterministic, single-
+threaded) random source *before* dispatch, keeping sealed output
+byte-identical to the serial path.  Stats counters are guarded by a
+lock so concurrent seals/unseals never drop updates.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Callable, Optional
+import threading
+from typing import Callable, Optional, Union
 
 from repro.crypto.backend import AeadBackend, default_backend
 
@@ -23,6 +40,8 @@ MAC_SIZE = 16
 SEAL_OVERHEAD = IV_SIZE + MAC_SIZE  # 28 bytes per sealed buffer
 
 RandomSource = Callable[[int], bytes]
+
+Buffer = Union[bytes, bytearray, memoryview]
 
 
 class EncryptionEngine:
@@ -54,6 +73,7 @@ class EncryptionEngine:
         self.key = bytes(key)
         self._rand = rand if rand is not None else os.urandom
         self.backend = backend if backend is not None else default_backend()
+        self._stats_lock = threading.Lock()
         self.stats = {"seals": 0, "unseals": 0, "bytes_sealed": 0, "bytes_unsealed": 0}
 
     @classmethod
@@ -62,17 +82,65 @@ class EncryptionEngine:
         source = rand if rand is not None else os.urandom
         return source(KEY_SIZE)
 
-    def seal(self, plaintext: bytes, aad: bytes = b"") -> bytes:
-        """Encrypt ``plaintext``; returns ``ciphertext ‖ IV ‖ MAC``."""
+    def new_iv(self) -> bytes:
+        """Draw a fresh 12-byte IV from the engine's random source.
+
+        The parallel sealing pipeline calls this serially (IV order is
+        part of the deterministic sealed output) before fanning the
+        actual encryption across threads.
+        """
         iv = self._rand(IV_SIZE)
-        ciphertext, tag = self.backend.encrypt(self.key, iv, plaintext, aad)
-        self.stats["seals"] += 1
-        self.stats["bytes_sealed"] += len(plaintext)
+        if len(iv) != IV_SIZE:
+            raise ValueError(f"random source produced {len(iv)} bytes, not {IV_SIZE}")
+        return iv
+
+    def _count(self, op: str, byte_op: str, nbytes: int) -> None:
+        with self._stats_lock:
+            self.stats[op] += 1
+            self.stats[byte_op] += nbytes
+
+    def seal(
+        self, plaintext: Buffer, aad: bytes = b"", iv: Optional[bytes] = None
+    ) -> bytes:
+        """Encrypt ``plaintext``; returns ``ciphertext ‖ IV ‖ MAC``."""
+        iv = self.new_iv() if iv is None else iv
+        ciphertext, tag = self.backend.encrypt(self.key, iv, bytes(plaintext), aad)
+        self._count("seals", "bytes_sealed", len(plaintext))
         return ciphertext + iv + tag
 
-    def unseal(self, sealed: bytes, aad: bytes = b"") -> bytes:
+    def seal_into(
+        self,
+        plaintext: Buffer,
+        out: Union[bytearray, memoryview],
+        aad: bytes = b"",
+        iv: Optional[bytes] = None,
+    ) -> int:
+        """Seal ``plaintext`` directly into ``out``; returns bytes written.
+
+        ``out`` must be a writable buffer of at least
+        ``sealed_size(len(plaintext))`` bytes; the sealed record
+        (``ciphertext ‖ IV ‖ MAC``) is written at its start with no
+        intermediate allocations on backends that support it.
+        """
+        n = len(plaintext)
+        sealed_size = n + SEAL_OVERHEAD
+        view = memoryview(out)
+        if len(view) < sealed_size:
+            raise ValueError(
+                f"output buffer holds {len(view)} bytes, "
+                f"sealed record needs {sealed_size}"
+            )
+        iv = self.new_iv() if iv is None else iv
+        tag = self.backend.encrypt_into(self.key, iv, plaintext, view, aad)
+        view[n : n + IV_SIZE] = iv
+        view[n + IV_SIZE : sealed_size] = tag
+        self._count("seals", "bytes_sealed", n)
+        return sealed_size
+
+    def unseal(self, sealed: Buffer, aad: bytes = b"") -> bytes:
         """Decrypt a sealed buffer; raises
         :class:`~repro.crypto.backend.IntegrityError` if tampered."""
+        sealed = bytes(sealed)
         if len(sealed) < SEAL_OVERHEAD:
             raise ValueError(
                 f"sealed buffer too short: {len(sealed)} < {SEAL_OVERHEAD}"
@@ -81,9 +149,38 @@ class EncryptionEngine:
         iv = sealed[-SEAL_OVERHEAD:-MAC_SIZE]
         tag = sealed[-MAC_SIZE:]
         plaintext = self.backend.decrypt(self.key, iv, ciphertext, tag, aad)
-        self.stats["unseals"] += 1
-        self.stats["bytes_unsealed"] += len(plaintext)
+        self._count("unseals", "bytes_unsealed", len(plaintext))
         return plaintext
+
+    def unseal_from(
+        self,
+        sealed: Buffer,
+        out: Union[bytearray, memoryview],
+        aad: bytes = b"",
+    ) -> int:
+        """Decrypt a sealed record directly into ``out``; returns bytes.
+
+        ``out`` must be writable and exactly as large as the plaintext
+        (``len(sealed) - SEAL_OVERHEAD``) or larger.  GCM caveat: on an
+        :class:`~repro.crypto.backend.IntegrityError` the buffer already
+        holds unauthenticated garbage — callers must discard it.
+        """
+        view = memoryview(sealed)
+        if len(view) < SEAL_OVERHEAD:
+            raise ValueError(
+                f"sealed buffer too short: {len(view)} < {SEAL_OVERHEAD}"
+            )
+        n = len(view) - SEAL_OVERHEAD
+        iv = bytes(view[n : n + IV_SIZE])
+        tag = bytes(view[n + IV_SIZE :])
+        out_view = memoryview(out)
+        if len(out_view) < n:
+            raise ValueError(
+                f"output buffer holds {len(out_view)} bytes, plaintext is {n}"
+            )
+        self.backend.decrypt_into(self.key, iv, view[:n], tag, out_view[:n], aad)
+        self._count("unseals", "bytes_unsealed", n)
+        return n
 
     @staticmethod
     def sealed_size(plaintext_size: int) -> int:

@@ -46,7 +46,11 @@ class SoftmaxLayer(Layer):
         truth = truth.reshape(probs.shape)
         n = probs.shape[0]
         self._delta = (probs - truth) / n
-        return float(-(truth * np.log(probs + _EPSILON)).sum() / n)
+        # Clip instead of adding epsilon: probs + eps can exceed 1.0 when
+        # the true class saturates, making log positive and the loss a tiny
+        # negative number.
+        clipped = np.clip(probs, _EPSILON, 1.0)
+        return float(-(truth * np.log(clipped)).sum() / n)
 
     def backward(self, delta: Optional[np.ndarray] = None) -> np.ndarray:
         """Propagate the cross-entropy delta (ignores the argument)."""

@@ -123,29 +123,19 @@ class PersistentMemoryDevice:
                 f"(device size {self.size})"
             )
 
-    def write(self, addr: int, data: bytes) -> None:
-        """Store ``data`` at ``addr`` — volatile until flushed."""
-        self._fault("store")
-        self._check_range(addr, len(data))
-        if not data:
-            return
-        self._data[addr : addr + len(data)] = data
-        self._dirty.add(addr, addr + len(data))
-        self._hot.add(addr, addr + len(data))
+    def _account_store(self, addr: int, length: int) -> None:
+        """Bookkeeping + simulated cost of a store (data already placed)."""
+        self._dirty.add(addr, addr + length)
+        self._hot.add(addr, addr + length)
         self.stats["stores"] += 1
         # Stores land in the cache hierarchy: cache-speed cost.  The PM
         # media write bandwidth is charged when the lines are flushed.
         self.clock.advance(
-            self.store_cost + len(data) / self.cache_write_bandwidth
+            self.store_cost + length / self.cache_write_bandwidth
         )
 
-    def read(self, addr: int, length: int) -> bytes:
-        """Load ``length`` bytes from ``addr`` (sees cached stores).
-
-        Cache-hot ranges (recently written or read) cost cache accesses;
-        cold ranges pay PM media latency and bandwidth.
-        """
-        self._check_range(addr, length)
+    def _charge_read(self, addr: int, length: int) -> None:
+        """Bookkeeping + simulated cost of a load of ``length`` bytes."""
         self.stats["loads"] += 1
         hot = self._hot.overlap_total(addr, addr + length) if length else 0
         cold = length - hot
@@ -154,7 +144,81 @@ class PersistentMemoryDevice:
             cost += self.cost.read_latency + cold / self.cost.read_bandwidth
             self._hot.add(addr, addr + length)
         self.clock.advance(cost)
-        return bytes(self._data[addr : addr + length])
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Store ``data`` at ``addr`` — volatile until flushed."""
+        self._fault("store")
+        self._check_range(addr, len(data))
+        if not data:
+            return
+        self._data[addr : addr + len(data)] = data
+        self._account_store(addr, len(data))
+
+    def write_prefilled(self, addr: int, length: int) -> None:
+        """Account for a store whose payload is already in the volatile
+        image (placed through :meth:`volatile_view`).
+
+        Identical cost, fault-injection and cache bookkeeping to
+        :meth:`write` — only the memcpy is skipped, because the producer
+        (e.g. the sealing pipeline) generated the bytes in place.
+        """
+        self._fault("store")
+        self._check_range(addr, length)
+        if not length:
+            return
+        self._account_store(addr, length)
+
+    def volatile_view(self, addr: int, length: int) -> memoryview:
+        """Writable view over the *volatile* data image — host staging.
+
+        Carries no simulated cost: durability and store cost are charged
+        when the range is committed via :meth:`write_prefilled`.  The
+        view aliases live device memory and is invalidated by
+        :meth:`crash`; it must not outlive the current operation.
+        """
+        self._check_range(addr, length)
+        return memoryview(self._data)[addr : addr + length]
+
+    def read(self, addr: int, length: int) -> bytes:
+        """Load ``length`` bytes from ``addr`` (sees cached stores).
+
+        Cache-hot ranges (recently written or read) cost cache accesses;
+        cold ranges pay PM media latency and bandwidth.
+        """
+        self._check_range(addr, length)
+        self._charge_read(addr, length)
+        return bytes(memoryview(self._data)[addr : addr + length])
+
+    def read_view(self, addr: int, length: int) -> memoryview:
+        """Like :meth:`read`, returning a zero-copy readonly view.
+
+        Simulated cost is identical to :meth:`read`.  The view aliases
+        live device memory: it is invalidated by :meth:`crash` and stale
+        after any overlapping store — callers consume it immediately.
+        """
+        self._check_range(addr, length)
+        self._charge_read(addr, length)
+        return memoryview(self._data)[addr : addr + length].toreadonly()
+
+    def copy_within(self, src: int, dst: int, length: int) -> None:
+        """``write(dst, read(src, length))`` without the intermediate
+        ``bytes`` — the Romulus twin-copy hot path.
+
+        Charges exactly the read cost then the store cost, with the same
+        cache/dirty bookkeeping and fault-injection points.
+        """
+        self._check_range(src, length)
+        self._charge_read(src, length)
+        self._fault("store")
+        self._check_range(dst, length)
+        if not length:
+            return
+        view = memoryview(self._data)
+        if abs(dst - src) < length:  # overlapping: copy via a bounce
+            view[dst : dst + length] = bytes(view[src : src + length])
+        else:
+            view[dst : dst + length] = view[src : src + length]
+        self._account_store(dst, length)
 
     def drop_caches(self) -> None:
         """Evict the (simulated) CPU cache: subsequent reads are cold.
@@ -190,8 +254,9 @@ class PersistentMemoryDevice:
         nlines = (line_end - line_start) // CACHE_LINE
 
         dirty_bytes = self._dirty.overlap_total(line_start, line_end)
+        data_view = memoryview(self._data)
         for a, b in self._dirty.overlap(line_start, line_end):
-            self._durable[a:b] = self._data[a:b]
+            self._durable[a:b] = data_view[a:b]
         self._dirty.remove(line_start, line_end)
 
         per_line = (

@@ -171,8 +171,9 @@ class RomulusRegion:
         found = self.state
         if found is RegionState.MUTATING:
             # Main may be inconsistent: restore from back.
-            snapshot = self.device.read(self.back_base, self.main_size)
-            self.device.write(self.main_base, snapshot)
+            self.device.copy_within(
+                self.back_base, self.main_base, self.main_size
+            )
             self.device.flush(
                 self.main_base, self.main_size, self.flush_instruction
             )
@@ -181,8 +182,9 @@ class RomulusRegion:
             self.set_state(RegionState.IDLE)
         elif found is RegionState.COPYING:
             # Main is consistent: redo the copy to back (log is gone).
-            snapshot = self.device.read(self.main_base, self.main_size)
-            self.device.write(self.back_base, snapshot)
+            self.device.copy_within(
+                self.main_base, self.back_base, self.main_size
+            )
             self.device.flush(
                 self.back_base, self.main_size, self.flush_instruction
             )
@@ -210,6 +212,24 @@ class RomulusRegion:
     def read_u64(self, offset: int) -> int:
         """Read a little-endian u64 from main."""
         return struct.unpack("<Q", self.read(offset, 8))[0]
+
+    def read_view(self, offset: int, length: int) -> memoryview:
+        """Zero-copy readonly view of main — same simulated cost as
+        :meth:`read`; the view is stale after any overlapping store."""
+        self._check_offset(offset, length)
+        return self.device.read_view(self.main_base + offset, length)
+
+    def staging_view(self, offset: int, length: int) -> memoryview:
+        """Writable view of main for producers that generate data in
+        place (the zero-copy sealing pipeline).
+
+        Carries no simulated cost and no durability: the covering
+        transaction must account the range with
+        :meth:`~repro.romulus.transaction.Transaction.write_prefilled`
+        before commit, or the bytes are lost on crash.
+        """
+        self._check_offset(offset, length)
+        return self.device.volatile_view(self.main_base + offset, length)
 
     def read_back(self, offset: int, length: int) -> bytes:
         """Read the back twin (diagnostics/tests only)."""

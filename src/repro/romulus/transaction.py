@@ -73,6 +73,29 @@ class Transaction:
         self.log.record(offset, len(data))
         self._charge_log_spill()
 
+    def write_prefilled(self, offset: int, length: int) -> None:
+        """Interposed store whose payload was already staged in place.
+
+        The zero-copy sealing pipeline writes ciphertext directly into
+        the main twin through ``region.staging_view`` (volatile, costless
+        until here); this performs the identical accounting, flush and
+        logging that :meth:`write` would — only the memcpy is skipped.
+        """
+        self._check_open()
+        self.region._check_offset(offset, length)
+        if not length:
+            return
+        device = self.region.device
+        device.write_prefilled(self.region.main_base + offset, length)
+        device.flush(
+            self.region.main_base + offset,
+            length,
+            self.region.flush_instruction,
+        )
+        self._charge_memory_overhead(length)
+        self.log.record(offset, length)
+        self._charge_log_spill()
+
     def write_u64(self, offset: int, value: int) -> None:
         """Interposed store of a little-endian u64."""
         self.write(offset, value.to_bytes(8, "little"))
@@ -97,8 +120,9 @@ class Transaction:
         region.set_state(RegionState.COPYING)
         # Copy modified ranges main -> back, with interposed flushes.
         for start, end in self.log.ranges():
-            data = device.read(region.main_base + start, end - start)
-            device.write(region.back_base + start, data)
+            device.copy_within(
+                region.main_base + start, region.back_base + start, end - start
+            )
             device.flush(region.back_base + start, end - start, instr)
             self._charge_memory_overhead(end - start)
         # Fence 4: order the back flushes before IDLE can become durable.
@@ -116,8 +140,9 @@ class Transaction:
         device = region.device
         instr = region.flush_instruction
         for start, end in self.log.ranges():
-            snapshot = device.read(region.back_base + start, end - start)
-            device.write(region.main_base + start, snapshot)
+            device.copy_within(
+                region.back_base + start, region.main_base + start, end - start
+            )
             device.flush(region.main_base + start, end - start, instr)
         if instr.needs_fence:
             region.fence()

@@ -9,6 +9,7 @@ is documented there and in ``EXPERIMENTS.md``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 KIB = 1024
 MIB = 1024 * KIB
@@ -124,6 +125,43 @@ class CryptoCostModel:
     def decrypt_time(self, nbytes: int, buffers: int = 1) -> float:
         """Simulated seconds to decrypt ``nbytes`` across ``buffers``."""
         return buffers * self.per_buffer_overhead + nbytes / self.decrypt_bandwidth
+
+    def _parallel_seconds(
+        self, per_buffer_fn, sizes: "Sequence[int]", threads: int
+    ) -> float:
+        """Makespan of per-buffer crypto jobs over ``threads`` workers.
+
+        The overlap term of the parallel sealing pipeline: each buffer
+        is one indivisible job; jobs are assigned greedily (in buffer
+        order) to the least-loaded worker, and the phase costs the
+        maximum worker load.  With ``threads=1`` this degenerates to the
+        exact serial sum, keeping single-threaded simulated totals
+        identical to the per-buffer accounting used before parallel
+        sealing existed.
+        """
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        if threads == 1:
+            return sum(per_buffer_fn(n) for n in sizes)
+        loads = [0.0] * threads
+        for n in sizes:
+            worker = min(range(threads), key=loads.__getitem__)
+            loads[worker] += per_buffer_fn(n)
+        return max(loads)
+
+    def parallel_encrypt_seconds(
+        self, sizes: "Sequence[int]", threads: int
+    ) -> float:
+        """Simulated seconds to encrypt buffers of ``sizes`` bytes with
+        ``threads`` concurrent crypto workers."""
+        return self._parallel_seconds(self.encrypt_time, sizes, threads)
+
+    def parallel_decrypt_seconds(
+        self, sizes: "Sequence[int]", threads: int
+    ) -> float:
+        """Simulated seconds to decrypt buffers of ``sizes`` bytes with
+        ``threads`` concurrent crypto workers."""
+        return self._parallel_seconds(self.decrypt_time, sizes, threads)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,149 @@
+"""The im2col hot-path optimizations: strided fast path vs. the original
+gather, the patch-index cache, and the vectorized col2im scatter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.darknet import im2col as m
+
+# (n, c, h, w, kernel, stride, pad) — exercises k=1, stride>1,
+# rectangular inputs, and zero/nonzero padding.
+SHAPES = [
+    (1, 1, 5, 5, 3, 1, 1),
+    (2, 3, 8, 8, 3, 1, 0),
+    (2, 3, 9, 7, 3, 2, 1),
+    (1, 4, 12, 12, 5, 3, 2),
+    (3, 2, 6, 6, 1, 1, 0),
+    (1, 1, 28, 28, 3, 1, 1),
+    (2, 8, 7, 11, 2, 2, 0),
+]
+
+
+@pytest.fixture(autouse=True)
+def fresh_state():
+    m.clear_patch_index_cache()
+    previous = m.set_index_cache_enabled(True)
+    yield
+    m.set_index_cache_enabled(previous)
+    m.clear_patch_index_cache()
+
+
+def images_for(shape, seed=0):
+    n, c, h, w = shape[:4]
+    return (
+        np.random.default_rng(seed)
+        .normal(size=(n, c, h, w))
+        .astype(np.float32)
+    )
+
+
+class TestStridedFastPath:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_im2col_bit_identical_to_gather(self, shape):
+        n, c, h, w, k, stride, pad = shape
+        imgs = images_for(shape)
+        m.set_index_cache_enabled(True)
+        fast = m.im2col(imgs, k, stride, pad)
+        m.set_index_cache_enabled(False)
+        legacy = m.im2col(imgs, k, stride, pad)
+        assert fast.shape == legacy.shape
+        assert np.array_equal(fast, legacy)  # bitwise, not approx
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_col2im_matches_scatter_add(self, shape):
+        n, c, h, w, k, stride, pad = shape
+        out_h = m.conv_output_size(h, k, stride, pad)
+        out_w = m.conv_output_size(w, k, stride, pad)
+        cols = (
+            np.random.default_rng(1)
+            .normal(size=(c * k * k, out_h * out_w * n))
+            .astype(np.float32)
+        )
+        m.set_index_cache_enabled(True)
+        fast = m.col2im(cols, (n, c, h, w), k, stride, pad)
+        m.set_index_cache_enabled(False)
+        legacy = m.col2im(cols, (n, c, h, w), k, stride, pad)
+        # Summation order across kernel offsets differs — float-rounding
+        # level agreement, not bitwise.
+        np.testing.assert_allclose(fast, legacy, rtol=1e-5, atol=1e-6)
+
+    def test_roundtrip_gradient_shape(self):
+        imgs = images_for((2, 3, 8, 8))
+        cols = m.im2col(imgs, 3, 1, 1)
+        back = m.col2im(cols, imgs.shape, 3, 1, 1)
+        assert back.shape == imgs.shape
+
+
+class TestIndexCache:
+    def test_cache_hit_on_repeat_shape(self):
+        m.set_index_cache_enabled(False)  # strided path skips indices
+        imgs = images_for((2, 3, 8, 8))
+        m.set_index_cache_enabled(True)
+        before = m.patch_index_cache_info()
+        # Exercise the cached index path directly (the public im2col uses
+        # the strided view; col2im's legacy path and external callers
+        # still consume indices).
+        m._patch_indices(3, 8, 8, 3, 1, 1)
+        m._patch_indices(3, 8, 8, 3, 1, 1)
+        m._patch_indices(3, 8, 8, 3, 1, 1)
+        info = m.patch_index_cache_info()
+        assert info.misses == before.misses + 1
+        assert info.hits >= before.hits + 2
+
+    def test_cached_indices_frozen(self):
+        k, i, j = m._patch_indices(3, 8, 8, 3, 1, 1)
+        for arr in (k, i, j):
+            assert not arr.flags.writeable
+            with pytest.raises(ValueError):
+                arr[0] = 0
+
+    def test_cache_disabled_rebuilds(self):
+        m.set_index_cache_enabled(False)
+        a = m._patch_indices(3, 8, 8, 3, 1, 1)
+        b = m._patch_indices(3, 8, 8, 3, 1, 1)
+        assert a[0] is not b[0]  # fresh arrays every call
+        assert all(x.flags.writeable for x in a)
+
+    def test_toggle_returns_previous(self):
+        assert m.set_index_cache_enabled(False) is True
+        assert m.index_cache_enabled() is False
+        assert m.set_index_cache_enabled(True) is False
+        assert m.index_cache_enabled() is True
+
+    def test_clear_resets_counts(self):
+        m._patch_indices(3, 8, 8, 3, 1, 1)
+        m.clear_patch_index_cache()
+        info = m.patch_index_cache_info()
+        assert info.currsize == 0
+
+
+class TestConvLayerEquivalence:
+    def test_forward_backward_match_legacy(self):
+        """A conv layer's forward/backward under the optimized lowering
+        agrees with the original formulation."""
+        from repro.darknet.layers.convolutional import ConvolutionalLayer
+
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(4, 3, 10, 10)).astype(np.float32)
+        delta_seed = rng.normal(size=(4, 8, 10, 10)).astype(np.float32)
+
+        results = {}
+        for enabled in (True, False):
+            m.set_index_cache_enabled(enabled)
+            layer = ConvolutionalLayer(
+                in_shape=(3, 10, 10),
+                filters=8,
+                kernel=3,
+                stride=1,
+                pad=1,
+                rng=np.random.default_rng(7),
+            )
+            out = layer.forward(x)
+            dx = layer.backward(delta_seed)
+            results[enabled] = (out, dx)
+        np.testing.assert_array_equal(results[True][0], results[False][0])
+        np.testing.assert_allclose(
+            results[True][1], results[False][1], rtol=1e-5, atol=1e-6
+        )
