@@ -1,0 +1,175 @@
+"""Gate wall-clock regressions against the committed baseline.
+
+Compares a freshly generated wall-clock report (typically a CI smoke
+run, produced with ``bench_wallclock.py --smoke --out ...``) against
+``BENCH_wallclock.json`` at the repository root.
+
+Wall-clock numbers are host-dependent, so two tiers of checks apply:
+
+* **speedup ratios** (serial vs. parallel mirror, im2col, train
+  iteration) are compared on every host — a ratio is robust to the
+  absolute speed of the machine, and a uniform slowdown of only the
+  optimized path (e.g. tracing hooks leaking cost into the
+  null-recorder configuration) shows up here.  The noisy
+  micro-benchmark ratios (im2col, train iteration) get the tight gate
+  only when baseline and report used the same repeat counts; otherwise
+  they are held to the harness's own host-independent target floors;
+* **absolute seconds** are compared only like-for-like: same host
+  signature (cpu count + crypto backend) and same measurement knobs
+  (smoke flag, repeats).  CI runners differ from the machine that wrote
+  the committed baseline, so this tier usually applies to local runs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --smoke --out /tmp/r.json
+    python benchmarks/check_wallclock_regression.py --report /tmp/r.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_wallclock.json"
+
+
+def _load(path: Path) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _mirror_by_layers(payload: dict) -> dict:
+    return {entry["layer_count"]: entry for entry in payload.get("mirror", [])}
+
+
+def _host_signature(payload: dict) -> tuple:
+    host = payload.get("host", {})
+    return (host.get("cpu_count"), host.get("crypto_backend"))
+
+
+def check(baseline: dict, report: dict, tolerance: float) -> list:
+    """Return a list of human-readable failure strings (empty = pass)."""
+    failures = []
+    floor = 1.0 - tolerance
+
+    if not report.get("criteria", {}).get("mirrors_identical", False):
+        failures.append(
+            "serial and parallel sealing no longer produce identical mirrors"
+        )
+
+    base_mirror = _mirror_by_layers(baseline)
+    for layers, entry in _mirror_by_layers(report).items():
+        base = base_mirror.get(layers)
+        if base is None:
+            continue
+        for key in ("out_speedup", "in_speedup"):
+            got, want = entry.get(key), base.get(key)
+            if got is None or want is None:
+                continue
+            if got < want * floor:
+                failures.append(
+                    f"mirror[{layers} layers].{key}: {got:.3f} < "
+                    f"{want:.3f} * {floor:.2f} (baseline * (1 - tolerance))"
+                )
+
+    # The micro-benchmark speedups (im2col, train iteration) are noisy
+    # at smoke repeat counts, so the tight ratio gate only applies when
+    # baseline and report used the same measurement knobs.  Cross-config
+    # runs fall back to the harness's own host-independent target floors.
+    same_knobs = baseline.get("smoke") == report.get("smoke")
+    criteria = report.get("criteria", {})
+    micro_floors = {
+        "im2col": criteria.get("im2col_speedup_target"),
+        "train_iteration": None,
+    }
+    for section in ("im2col", "train_iteration"):
+        got = report.get(section, {}).get("speedup")
+        if got is None:
+            continue
+        want = baseline.get(section, {}).get("speedup")
+        if same_knobs and want is not None:
+            if got < want * floor:
+                failures.append(
+                    f"{section}.speedup: {got:.3f} < {want:.3f} * {floor:.2f}"
+                )
+        else:
+            target = micro_floors[section]
+            if target is None:
+                target = 1.0  # optimized path must never lose outright
+            if got < target:
+                failures.append(
+                    f"{section}.speedup: {got:.3f} < harness target {target:.2f}"
+                )
+
+    # Absolute times: only meaningful like-for-like.
+    comparable = (
+        _host_signature(baseline) == _host_signature(report)
+        and baseline.get("smoke") == report.get("smoke")
+    )
+    if comparable:
+        ceiling = 1.0 + tolerance
+        for layers, entry in _mirror_by_layers(report).items():
+            base = base_mirror.get(layers)
+            if base is None or base.get("repeats") != entry.get("repeats"):
+                continue
+            for key in ("parallel_out_seconds", "parallel_in_seconds"):
+                got, want = entry.get(key), base.get(key)
+                if got is None or want is None:
+                    continue
+                if got > want * ceiling:
+                    failures.append(
+                        f"mirror[{layers} layers].{key}: {got * 1e3:.2f} ms > "
+                        f"{want * 1e3:.2f} ms * {ceiling:.2f}"
+                    )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"committed baseline JSON (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--report",
+        type=Path,
+        required=True,
+        help="freshly generated report JSON to validate",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional regression (default: 0.10 = 10%%)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = _load(args.baseline)
+    report = _load(args.report)
+    print(
+        f"baseline: schema {baseline.get('schema')}, "
+        f"host {_host_signature(baseline)}, smoke={baseline.get('smoke')}"
+    )
+    print(
+        f"report:   schema {report.get('schema')}, "
+        f"host {_host_signature(report)}, smoke={report.get('smoke')}"
+    )
+
+    failures = check(baseline, report, args.tolerance)
+    if failures:
+        print(f"\nFAIL — {len(failures)} regression(s) beyond "
+              f"{args.tolerance:.0%} tolerance:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nOK — no regressions beyond {args.tolerance:.0%} tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

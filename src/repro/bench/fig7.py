@@ -72,8 +72,15 @@ def measure_model_size(
     filters: int = 512,
     runs: int = 3,
     seed: int = 7,
+    recorder=None,
 ) -> Fig7Record:
-    """Measure save/restore for one model size on one server."""
+    """Measure save/restore for one model size on one server.
+
+    ``recorder`` optionally attaches a
+    :class:`~repro.obs.recorder.TraceRecorder` to the system so the
+    sweep's ``mirror.*``/``ckpt.*`` spans can be analyzed afterwards
+    (e.g. reproducing Table I from the trace alone).
+    """
     rng = np.random.default_rng((seed, layer_count))
     per_layer = 4 * (filters * filters * 9 + 4 * filters)
     network = build_sized_cnn(layer_count * per_layer, rng=rng, filters=filters)
@@ -82,7 +89,9 @@ def measure_model_size(
     n_buffers = len(network.parameter_buffers())
     sealed_footprint = model_bytes + n_buffers * SEAL_OVERHEAD
     pm_size = 2 * (sealed_footprint + (2 << 20)) + 8192
-    system = PliniusSystem.create(server=server, seed=seed, pm_size=pm_size)
+    system = PliniusSystem.create(
+        server=server, seed=seed, pm_size=pm_size, recorder=recorder
+    )
     system.enclave.malloc("model", model_bytes)
     system.mirror.alloc_mirror_model(network)
 
@@ -120,11 +129,17 @@ def run_fig7(
     filters: int = 512,
     runs: int = 3,
     seed: int = 7,
+    recorder=None,
 ) -> List[Fig7Record]:
-    """Sweep model sizes on one server (paper runs both servers)."""
+    """Sweep model sizes on one server (paper runs both servers).
+
+    One ``recorder`` may observe the whole sweep: each sized system
+    gets its own clock, but spans carry the per-system sim timestamps.
+    """
     return [
         measure_model_size(
-            server, n, filters=filters, runs=runs, seed=seed
+            server, n, filters=filters, runs=runs, seed=seed,
+            recorder=recorder,
         )
         for n in layer_counts
     ]

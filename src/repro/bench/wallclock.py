@@ -29,9 +29,9 @@ from __future__ import annotations
 import json
 import os
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from hashlib import sha256
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,7 +48,9 @@ DEFAULT_LAYER_COUNTS = (1, 5, 13)
 SMOKE_LAYER_COUNTS = (1,)
 
 BASELINE_FILENAME = "BENCH_wallclock.json"
-SCHEMA_VERSION = 1
+#: v2 adds per-phase sim+wall splits (``mirror[*].phases``) derived
+#: from a separate traced pass over the parallel configuration.
+SCHEMA_VERSION = 2
 
 
 def _best_of(repeats: int, fn: Callable[[], None]) -> float:
@@ -78,6 +80,10 @@ class MirrorWallclock:
     serial_in_seconds: float
     parallel_in_seconds: float
     mirrors_identical: bool
+    #: ``{"mirror.encrypt": {"sim_seconds": ..., "wall_seconds": ...}, ...}``
+    #: from a *separate* traced save/restore of the parallel config — the
+    #: timed runs above stay on the null recorder.
+    phases: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def out_speedup(self) -> float:
@@ -94,6 +100,7 @@ def _sized_system(
     seed: int,
     crypto_threads: int,
     zero_copy: bool,
+    recorder=None,
 ) -> Tuple[PliniusSystem, Network]:
     rng = np.random.default_rng((seed, layer_count))
     per_layer = 4 * (filters * filters * 9 + 4 * filters)
@@ -107,10 +114,46 @@ def _sized_system(
         pm_size=pm_size,
         crypto_threads=crypto_threads,
         zero_copy=zero_copy,
+        recorder=recorder,
     )
     system.enclave.malloc("model", network.param_bytes)
     system.mirror.alloc_mirror_model(network)
     return system, network
+
+
+def _traced_mirror_phases(
+    layer_count: int,
+    filters: int,
+    seed: int,
+    crypto_threads: int,
+) -> Dict[str, Dict[str, float]]:
+    """Per-phase sim+wall split of one traced save + cold restore.
+
+    Runs entirely *outside* the timed regions — the timed runs stay on
+    the null recorder, so tracing overhead never contaminates the
+    wall-clock numbers; the trace spans supply the breakdown instead.
+    """
+    from repro.obs.export import phase_totals
+    from repro.obs.recorder import NULL_RECORDER, TraceRecorder
+
+    recorder = TraceRecorder()
+    system, network = _sized_system(
+        layer_count, filters, seed, crypto_threads, True, recorder=recorder
+    )
+    # Skip the formatting/allocation spans: trace only save + restore.
+    recorder.spans.clear()
+    system.mirror.mirror_out(network, 1)
+    system.pm.drop_caches()
+    system.mirror.mirror_in(network)
+    system.clock.recorder = NULL_RECORDER
+    return {
+        name: {
+            "count": data["count"],
+            "sim_seconds": data["sim_seconds"],
+            "wall_seconds": data["wall_seconds"],
+        }
+        for name, data in phase_totals(recorder, prefix="mirror.").items()
+    }
 
 
 def _time_mirror_config(
@@ -174,6 +217,7 @@ def measure_mirror_wallclock(
         serial_in_seconds=serial_in,
         parallel_in_seconds=parallel_in,
         mirrors_identical=serial_digest == parallel_digest,
+        phases=_traced_mirror_phases(layer_count, filters, seed, threads),
     )
 
 

@@ -216,6 +216,7 @@ def build_parser() -> argparse.ArgumentParser:
     }
     for name, (fn, help_text) in commands.items():
         cmd = sub.add_parser(name, help=help_text)
+        _add_trace_flag(cmd)
         cmd.set_defaults(func=fn)
 
     train = sub.add_parser("train", help="train a CNN with mirroring")
@@ -225,13 +226,48 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--batch", type=int, default=32)
     train.add_argument("--rows", type=int, default=1024)
     train.add_argument("--seed", type=int, default=7)
+    _add_trace_flag(train)
     train.set_defaults(func=_cmd_train)
     return parser
 
 
+def _add_trace_flag(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a dual-clock trace of the run and write it as "
+        "Chrome trace-event JSON (open in Perfetto / chrome://tracing)",
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    args.func(args)
+    trace_path = getattr(args, "trace", None)
+    if trace_path is None:
+        args.func(args)
+        return 0
+
+    from repro.obs import (
+        TraceRecorder,
+        install_default_recorder,
+        write_chrome_trace,
+    )
+
+    # Installing the process default makes every SimClock (and thus
+    # every system) the command creates attach to this recorder.
+    recorder = TraceRecorder()
+    previous = install_default_recorder(recorder)
+    try:
+        args.func(args)
+    finally:
+        install_default_recorder(previous)
+        write_chrome_trace(recorder, trace_path)
+        print(
+            f"trace: {len(recorder.spans)} spans, "
+            f"{len(recorder.events)} events, "
+            f"{len(recorder.counters)} metrics -> {trace_path}"
+        )
     return 0
 
 

@@ -83,29 +83,45 @@ class SsdCheckpoint:
     def save(self, network: Network, iteration: int) -> MirrorTiming:
         """Encrypt and fwrite+fsync the model; returns phase timings."""
         crypto = self.profile.crypto
+        rec = self.clock.recorder
+        outer = (
+            rec.begin(
+                "ckpt.save",
+                self.clock.now(),
+                category="ckpt",
+                args={"iteration": iteration},
+            )
+            if rec.enabled
+            else None
+        )
+        try:
+            # Phase 1 — encrypt in the enclave (identical to mirror_out).
+            with self.clock.stopwatch("ckpt.encrypt") as encrypt_span:
+                sealed: List[bytes] = []
+                for _, (name, arr) in network.parameter_buffers():
+                    plaintext = np.ascontiguousarray(arr, np.float32).tobytes()
+                    self.enclave.touch(len(plaintext))
+                    self.clock.advance(crypto.encrypt_time(len(plaintext)))
+                    sealed.append(
+                        self.engine.seal(plaintext, aad=name.encode())
+                    )
 
-        # Phase 1 — encrypt in the enclave (identical to mirror_out).
-        with self.clock.stopwatch("encrypt") as encrypt_span:
-            sealed: List[bytes] = []
-            for _, (name, arr) in network.parameter_buffers():
-                plaintext = np.ascontiguousarray(arr, np.float32).tobytes()
-                self.enclave.touch(len(plaintext))
-                self.clock.advance(crypto.encrypt_time(len(plaintext)))
-                sealed.append(self.engine.seal(plaintext, aad=name.encode()))
-
-        # Phase 2 — serialize to SSD: fwrite + fsync per buffer.
-        with self.clock.stopwatch("write") as write_span:
-            self.ssd.delete(self.path)
-            header = _FILE_HEADER.pack(iteration, len(sealed))
-            self._fwrite_chunks(0, header)
-            self.runtime.ocall("ckpt_fsync")
-            offset = len(header)
-            for blob in sealed:
-                record = _BUF_HEADER.pack(len(blob)) + blob
-                self._fwrite_chunks(offset, record)
-                # "After each call to fwrite ... issue an fsync."
+            # Phase 2 — serialize to SSD: fwrite + fsync per buffer.
+            with self.clock.stopwatch("ckpt.write") as write_span:
+                self.ssd.delete(self.path)
+                header = _FILE_HEADER.pack(iteration, len(sealed))
+                self._fwrite_chunks(0, header)
                 self.runtime.ocall("ckpt_fsync")
-                offset += len(record)
+                offset = len(header)
+                for blob in sealed:
+                    record = _BUF_HEADER.pack(len(blob)) + blob
+                    self._fwrite_chunks(offset, record)
+                    # "After each call to fwrite ... issue an fsync."
+                    self.runtime.ocall("ckpt_fsync")
+                    offset += len(record)
+        finally:
+            if outer is not None:
+                rec.end(outer, self.clock.now())
         return MirrorTiming(
             crypto_seconds=encrypt_span.elapsed,
             storage_seconds=write_span.elapsed,
@@ -116,34 +132,43 @@ class SsdCheckpoint:
         if not self.exists():
             raise CheckpointError(f"no checkpoint at {self.path!r}")
         crypto = self.profile.crypto
+        rec = self.clock.recorder
+        outer = (
+            rec.begin("ckpt.restore", self.clock.now(), category="ckpt")
+            if rec.enabled
+            else None
+        )
+        try:
+            # Phase 1 — fread everything into the enclave ("Read").
+            with self.clock.stopwatch("ckpt.read") as read_span:
+                size = self.ssd.file_size(self.path)
+                blob = self._fread_chunks(0, size)
 
-        # Phase 1 — fread everything into the enclave ("Read").
-        with self.clock.stopwatch("read") as read_span:
-            size = self.ssd.file_size(self.path)
-            blob = self._fread_chunks(0, size)
-
-        # Phase 2 — decrypt into the model ("Decrypt").
-        with self.clock.stopwatch("decrypt") as decrypt_span:
-            iteration, nbuf = _FILE_HEADER.unpack_from(blob, 0)
-            offset = _FILE_HEADER.size
-            buffers = network.parameter_buffers()
-            if nbuf != len(buffers):
-                raise CheckpointError(
-                    f"checkpoint holds {nbuf} buffers, model has "
-                    f"{len(buffers)} — architecture mismatch"
-                )
-            for layer_idx, (name, arr) in buffers:
-                (blen,) = _BUF_HEADER.unpack_from(blob, offset)
-                offset += _BUF_HEADER.size
-                sealed = blob[offset : offset + blen]
-                offset += blen
-                self.clock.advance(
-                    crypto.decrypt_time(blen - SEAL_OVERHEAD)
-                )
-                plaintext = self.engine.unseal(sealed, aad=name.encode())
-                network.layers[layer_idx].set_parameter(
-                    name, np.frombuffer(plaintext, dtype=np.float32)
-                )
+            # Phase 2 — decrypt into the model ("Decrypt").
+            with self.clock.stopwatch("ckpt.decrypt") as decrypt_span:
+                iteration, nbuf = _FILE_HEADER.unpack_from(blob, 0)
+                offset = _FILE_HEADER.size
+                buffers = network.parameter_buffers()
+                if nbuf != len(buffers):
+                    raise CheckpointError(
+                        f"checkpoint holds {nbuf} buffers, model has "
+                        f"{len(buffers)} — architecture mismatch"
+                    )
+                for layer_idx, (name, arr) in buffers:
+                    (blen,) = _BUF_HEADER.unpack_from(blob, offset)
+                    offset += _BUF_HEADER.size
+                    sealed = blob[offset : offset + blen]
+                    offset += blen
+                    self.clock.advance(
+                        crypto.decrypt_time(blen - SEAL_OVERHEAD)
+                    )
+                    plaintext = self.engine.unseal(sealed, aad=name.encode())
+                    network.layers[layer_idx].set_parameter(
+                        name, np.frombuffer(plaintext, dtype=np.float32)
+                    )
+        finally:
+            if outer is not None:
+                rec.end(outer, self.clock.now())
         network.iteration = iteration
         return iteration, MirrorTiming(
             crypto_seconds=decrypt_span.elapsed,

@@ -367,10 +367,23 @@ class MirrorModule:
         # Deterministic simulated accounting, all on the main thread.
         for job in jobs:
             self.enclave.touch(job.nbytes)
-        self.clock.advance(
-            crypto.parallel_encrypt_seconds(
-                [job.nbytes for job in jobs], self.crypto_threads
+        sizes = [job.nbytes for job in jobs]
+        rec = self.clock.recorder
+        traced = rec.enabled
+        if traced:
+            # Per-job worker-lane spans reuse the exact greedy schedule
+            # the makespan charge simulates, anchored at the phase start
+            # (before the advance below) — sim fields stay deterministic
+            # even though workers complete in host-dependent order.
+            phase_start = self.clock.now()
+            schedule = crypto.parallel_encrypt_schedule(
+                sizes, self.crypto_threads
             )
+            parent = rec.current_span()
+        else:
+            phase_start, schedule, parent = 0.0, None, None
+        self.clock.advance(
+            crypto.parallel_encrypt_seconds(sizes, self.crypto_threads)
         )
         # IV order is part of the sealed output: draw before dispatch.
         for job in jobs:
@@ -379,7 +392,9 @@ class MirrorModule:
         zero_copy = self.zero_copy
         engine = self.engine
 
-        def run(job: _SealJob) -> None:
+        def run(idx: int) -> None:
+            job = jobs[idx]
+            wall0 = rec.wall_now() if traced else 0.0
             aad = job.name.encode()
             if zero_copy:
                 dest = job.dest
@@ -389,9 +404,22 @@ class MirrorModule:
                 engine.seal_into(job.plaintext, dest, aad=aad, iv=job.iv)
             else:
                 job.sealed = engine.seal(job.plaintext, aad=aad, iv=job.iv)
+            if traced:
+                worker, start, end = schedule[idx]
+                rec.complete(
+                    "crypto.seal",
+                    sim_start=phase_start + start,
+                    sim_end=phase_start + end,
+                    wall_start=wall0,
+                    wall_end=rec.wall_now(),
+                    category="crypto",
+                    args={"buffer": job.name, "bytes": job.nbytes, "index": idx},
+                    parent=parent,
+                    sim_lane=worker,
+                )
 
         pool = get_executor(self.crypto_threads)
-        for _ in pool.map(run, jobs):
+        for _ in pool.map(run, range(len(jobs))):
             pass
         return [[job.sealed for job in row] for row in layer_rows]
 
@@ -408,59 +436,76 @@ class MirrorModule:
                 f"PM mirror has {self.stored_num_layers()}"
             )
 
-        # Walk the persistent layer list up front so the zero-copy path
-        # can seal directly into the PM slots; the traversal reads are
-        # storage work and counted into the write phase.
-        model = self.region.root(MODEL_ROOT)
-        with self.clock.stopwatch("layout") as layout_span:
-            num_layers, head, layout = self._mirror_layout(model)
+        rec = self.clock.recorder
+        outer = (
+            rec.begin(
+                "mirror.out",
+                self.clock.now(),
+                category="mirror",
+                args={"iteration": iteration},
+            )
+            if rec.enabled
+            else None
+        )
+        try:
+            # Walk the persistent layer list up front so the zero-copy
+            # path can seal directly into the PM slots; the traversal
+            # reads are storage work and counted into the write phase.
+            model = self.region.root(MODEL_ROOT)
+            with self.clock.stopwatch("mirror.layout") as layout_span:
+                num_layers, head, layout = self._mirror_layout(model)
 
-        # Phase 1 — encrypt in the enclave (Table Ia "Encrypt").
-        slots = layout if self.zero_copy else None
-        with self.clock.stopwatch("encrypt") as encrypt_span:
-            if self.crypto_threads == 1:
-                sealed_layers = self._seal_serial(network, slots)
-            else:
-                sealed_layers = self._seal_parallel(network, slots)
+            # Phase 1 — encrypt in the enclave (Table Ia "Encrypt").
+            slots = layout if self.zero_copy else None
+            with self.clock.stopwatch("mirror.encrypt") as encrypt_span:
+                if self.crypto_threads == 1:
+                    sealed_layers = self._seal_serial(network, slots)
+                else:
+                    sealed_layers = self._seal_parallel(network, slots)
 
-        # Phase 2 — write to PM in one durable transaction ("Write").
-        prefilled: List[tuple] = []
-        with self.clock.stopwatch("write") as write_span:
-            try:
-                with self.region.begin_transaction() as tx:
-                    tx.write(
-                        model, _MODEL_HEADER.pack(iteration, num_layers, head)
-                    )
-                    for refs, sealed in zip(layout, sealed_layers):
-                        if len(refs) != len(sealed):
-                            raise MirrorError(
-                                f"PM layer node has {len(refs)} buffers, "
-                                f"enclave layer has {len(sealed)}"
-                            )
-                        for (size, offset), blob in zip(refs, sealed):
-                            if blob is None:  # sealed in place on PM
-                                prefilled.append((offset, size))
-                                tx.write_prefilled(offset, size)
-                            else:
-                                if len(blob) != size:
-                                    raise MirrorError(
-                                        f"sealed buffer is {len(blob)} bytes, "
-                                        f"PM slot holds {size}"
-                                    )
-                                tx.write(offset, blob)
-            except BaseException:
-                # The aborting transaction restored every *logged* range
-                # from the back twin, but in-place-sealed slots that were
-                # not yet accounted still hold new bytes in the volatile
-                # image.  Best-effort restore so a caller that survives
-                # the exception sees the old mirror; a crash/recover
-                # wipes them regardless (they were never flushed).
-                if self.zero_copy:
-                    try:
-                        self._restore_prefilled_slots(layout, prefilled)
-                    except BaseException:
-                        pass  # a second fault: caller must crash + recover
-                raise
+            # Phase 2 — write to PM in one durable transaction ("Write").
+            prefilled: List[tuple] = []
+            with self.clock.stopwatch("mirror.write") as write_span:
+                try:
+                    with self.region.begin_transaction() as tx:
+                        tx.write(
+                            model,
+                            _MODEL_HEADER.pack(iteration, num_layers, head),
+                        )
+                        for refs, sealed in zip(layout, sealed_layers):
+                            if len(refs) != len(sealed):
+                                raise MirrorError(
+                                    f"PM layer node has {len(refs)} buffers, "
+                                    f"enclave layer has {len(sealed)}"
+                                )
+                            for (size, offset), blob in zip(refs, sealed):
+                                if blob is None:  # sealed in place on PM
+                                    prefilled.append((offset, size))
+                                    tx.write_prefilled(offset, size)
+                                else:
+                                    if len(blob) != size:
+                                        raise MirrorError(
+                                            f"sealed buffer is {len(blob)} "
+                                            f"bytes, PM slot holds {size}"
+                                        )
+                                    tx.write(offset, blob)
+                except BaseException:
+                    # The aborting transaction restored every *logged*
+                    # range from the back twin, but in-place-sealed slots
+                    # that were not yet accounted still hold new bytes in
+                    # the volatile image.  Best-effort restore so a
+                    # caller that survives the exception sees the old
+                    # mirror; a crash/recover wipes them regardless (they
+                    # were never flushed).
+                    if self.zero_copy:
+                        try:
+                            self._restore_prefilled_slots(layout, prefilled)
+                        except BaseException:
+                            pass  # second fault: caller must crash+recover
+                    raise
+        finally:
+            if outer is not None:
+                rec.end(outer, self.clock.now())
         return MirrorTiming(
             crypto_seconds=encrypt_span.elapsed,
             storage_seconds=layout_span.elapsed + write_span.elapsed,
@@ -535,72 +580,124 @@ class MirrorModule:
             self.region.read(model, _MODEL_HEADER.size)
         )
 
-        # Phase 1 — read sealed buffers from PM into the enclave ("Read").
-        with self.clock.stopwatch("read") as read_span:
-            sealed_layers = []
-            node = head
-            while node:
-                nxt, nbuf = _LAYER_FIXED.unpack(
-                    self.region.read(node, _LAYER_FIXED.size)
-                )
-                blobs = []
-                for size, offset in self._buffer_refs(node, nbuf):
-                    if self.zero_copy:
-                        # Zero-copy: decrypt straight from the PM image.
-                        # Same simulated read cost; no host-side copy.
-                        blob: object = self.region.read_view(offset, size)
-                    else:
-                        blob = self.region.read(offset, size)
-                    self.enclave.copy_in(size)
-                    blobs.append(blob)
-                sealed_layers.append(blobs)
-                node = nxt
+        rec = self.clock.recorder
+        outer = (
+            rec.begin("mirror.in", self.clock.now(), category="mirror")
+            if rec.enabled
+            else None
+        )
+        try:
+            # Phase 1 — read sealed buffers from PM into the enclave
+            # ("Read").
+            with self.clock.stopwatch("mirror.read") as read_span:
+                sealed_layers = []
+                node = head
+                while node:
+                    nxt, nbuf = _LAYER_FIXED.unpack(
+                        self.region.read(node, _LAYER_FIXED.size)
+                    )
+                    blobs = []
+                    for size, offset in self._buffer_refs(node, nbuf):
+                        if self.zero_copy:
+                            # Zero-copy: decrypt straight from the PM
+                            # image.  Same simulated read cost; no
+                            # host-side copy.
+                            blob: object = self.region.read_view(offset, size)
+                        else:
+                            blob = self.region.read(offset, size)
+                        self.enclave.copy_in(size)
+                        blobs.append(blob)
+                    sealed_layers.append(blobs)
+                    node = nxt
 
-        # Phase 2 — decrypt into the enclave model ("Decrypt").
-        with self.clock.stopwatch("decrypt") as decrypt_span:
-            layer_iter = iter(sealed_layers)
-            jobs: List[_UnsealJob] = []
-            for layer in network.layers:
-                buffers = layer.parameter_buffers()
-                if not buffers:
-                    continue
-                blobs = next(layer_iter)
-                if len(blobs) != len(buffers):
-                    raise MirrorError(
-                        f"layer {layer.kind}: {len(buffers)} buffers "
-                        f"expected, {len(blobs)} mirrored"
-                    )
-                for (name, arr), blob in zip(buffers, blobs):
-                    plaintext_size = len(blob) - SEAL_OVERHEAD
-                    out_view = (
-                        self._decrypt_target_view(arr, plaintext_size)
-                        if self.zero_copy
-                        else None
-                    )
-                    job = _UnsealJob(
-                        layer=layer,
-                        name=name,
-                        target=arr,
-                        blob=blob,
-                        out_view=out_view,
-                    )
-                    if self.crypto_threads == 1:
-                        self.clock.advance(crypto.decrypt_time(plaintext_size))
-                        self._unseal_into(job)
-                    else:
-                        jobs.append(job)
-            if jobs:
-                self.clock.advance(
-                    crypto.parallel_decrypt_seconds(
-                        [len(j.blob) - SEAL_OVERHEAD for j in jobs],
-                        self.crypto_threads,
-                    )
-                )
-                pool = get_executor(self.crypto_threads)
-                for _ in pool.map(self._unseal_into, jobs):
-                    pass
+            # Phase 2 — decrypt into the enclave model ("Decrypt").
+            with self.clock.stopwatch("mirror.decrypt") as decrypt_span:
+                layer_iter = iter(sealed_layers)
+                jobs: List[_UnsealJob] = []
+                for layer in network.layers:
+                    buffers = layer.parameter_buffers()
+                    if not buffers:
+                        continue
+                    blobs = next(layer_iter)
+                    if len(blobs) != len(buffers):
+                        raise MirrorError(
+                            f"layer {layer.kind}: {len(buffers)} buffers "
+                            f"expected, {len(blobs)} mirrored"
+                        )
+                    for (name, arr), blob in zip(buffers, blobs):
+                        plaintext_size = len(blob) - SEAL_OVERHEAD
+                        out_view = (
+                            self._decrypt_target_view(arr, plaintext_size)
+                            if self.zero_copy
+                            else None
+                        )
+                        job = _UnsealJob(
+                            layer=layer,
+                            name=name,
+                            target=arr,
+                            blob=blob,
+                            out_view=out_view,
+                        )
+                        if self.crypto_threads == 1:
+                            self.clock.advance(
+                                crypto.decrypt_time(plaintext_size)
+                            )
+                            self._unseal_into(job)
+                        else:
+                            jobs.append(job)
+                if jobs:
+                    self._unseal_parallel(crypto, rec, jobs)
+        finally:
+            if outer is not None:
+                rec.end(outer, self.clock.now())
         network.iteration = iteration
         return MirrorTiming(
             crypto_seconds=decrypt_span.elapsed,
             storage_seconds=read_span.elapsed,
         )
+
+    def _unseal_parallel(self, crypto, rec, jobs: List[_UnsealJob]) -> None:
+        """Charge the decrypt makespan and fan unsealing across the pool.
+
+        When traced, each job records a ``crypto.unseal`` span on the
+        simulated worker lane the greedy schedule assigned it, parented
+        to the enclosing ``mirror.decrypt`` phase.
+        """
+        sizes = [len(j.blob) - SEAL_OVERHEAD for j in jobs]
+        traced = rec.enabled
+        if traced:
+            phase_start = self.clock.now()
+            schedule = crypto.parallel_decrypt_schedule(
+                sizes, self.crypto_threads
+            )
+            parent = rec.current_span()
+        else:
+            phase_start, schedule, parent = 0.0, None, None
+        self.clock.advance(
+            crypto.parallel_decrypt_seconds(sizes, self.crypto_threads)
+        )
+        pool = get_executor(self.crypto_threads)
+        if not traced:
+            for _ in pool.map(self._unseal_into, jobs):
+                pass
+            return
+
+        def run(idx: int) -> None:
+            job = jobs[idx]
+            wall0 = rec.wall_now()
+            self._unseal_into(job)
+            worker, start, end = schedule[idx]
+            rec.complete(
+                "crypto.unseal",
+                sim_start=phase_start + start,
+                sim_end=phase_start + end,
+                wall_start=wall0,
+                wall_end=rec.wall_now(),
+                category="crypto",
+                args={"buffer": job.name, "bytes": sizes[idx], "index": idx},
+                parent=parent,
+                sim_lane=worker,
+            )
+
+        for _ in pool.map(run, range(len(jobs))):
+            pass

@@ -39,6 +39,7 @@ from repro.sgx.attestation import QuotingEnclave
 from repro.sgx.sealing import SealedBlob, seal_data, unseal_data
 from repro.sgx.ecall import EnclaveRuntime
 from repro.sgx.enclave import Enclave
+from repro.obs.recorder import get_default_recorder
 from repro.sgx.rand import SgxRandom
 from repro.simtime.clock import SimClock
 from repro.simtime.profiles import ServerProfile, get_profile
@@ -63,11 +64,16 @@ class PliniusSystem:
         seed: int,
         crypto_threads: int = 1,
         zero_copy: bool = True,
+        recorder=None,
     ) -> None:
         self.crypto_threads = crypto_threads
         self.zero_copy = zero_copy
         self.profile = profile
         self.clock = clock
+        # One recorder observes the whole deployment; attaching it to
+        # the clock is what every component's ``clock.recorder`` sees.
+        self.recorder = recorder if recorder is not None else clock.recorder
+        clock.recorder = self.recorder
         self.pm = pm
         self.ssd = ssd
         self.dram = dram
@@ -96,11 +102,16 @@ class PliniusSystem:
         key: Optional[bytes] = None,
         crypto_threads: int = 1,
         zero_copy: bool = True,
+        recorder=None,
     ) -> "PliniusSystem":
         """Stand up a fresh deployment on the named server profile.
 
         ``crypto_threads``/``zero_copy`` configure the mirroring
         module's sealing pipeline (see :class:`~repro.core.mirror.MirrorModule`).
+        ``recorder`` attaches a :class:`~repro.obs.recorder.TraceRecorder`
+        to the deployment; ``None`` uses the process default (the null
+        recorder unless the ``--trace`` CLI flag or a test installed one
+        via :func:`repro.obs.install_default_recorder`).
         """
         profile = get_profile(server)
         clock = SimClock()
@@ -130,13 +141,16 @@ class PliniusSystem:
             seed,
             crypto_threads=crypto_threads,
             zero_copy=zero_copy,
+            recorder=recorder if recorder is not None else get_default_recorder(),
         )
 
     def _attach_enclave(self) -> None:
         self.enclave = Enclave(self.clock, self.profile.sgx)
         self.runtime = EnclaveRuntime(self.enclave)
         if self.key:
-            self.engine = EncryptionEngine(self.key, rand=self.rand)
+            self.engine = EncryptionEngine(
+                self.key, rand=self.rand, observer=self.recorder
+            )
 
     def _attach_region(self, fresh: bool) -> None:
         main_size = (self.pm.size - HEADER_SIZE) // 2
@@ -185,7 +199,9 @@ class PliniusSystem:
         self.key = b""  # volatile copy died with the old enclave
         self._attach_enclave()
         self.key = self._unseal_key_from_disk()
-        self.engine = EncryptionEngine(self.key, rand=self.rand)
+        self.engine = EncryptionEngine(
+            self.key, rand=self.rand, observer=self.recorder
+        )
         self._attach_region(fresh=False)
         return self
 
@@ -217,7 +233,9 @@ class PliniusSystem:
         key is unreadable anyway.
         """
         self.key = key
-        self.engine = EncryptionEngine(self.key, rand=self.rand)
+        self.engine = EncryptionEngine(
+            self.key, rand=self.rand, observer=self.recorder
+        )
         self._attach_region(fresh=reset_region)
         self._seal_key_to_disk()
 

@@ -143,6 +143,21 @@ class PliniusTrainer:
         """Deterministic per-iteration batch sampler."""
         return np.random.default_rng((self.batch_seed, iteration))
 
+    @staticmethod
+    def _sample_im2col_gauges(recorder) -> None:
+        """Publish the im2col patch-index cache stats as trace gauges.
+
+        The ``lru_cache`` is process-global (shared by every system in
+        the process), so these gauges are deliberately *not* part of the
+        deterministic projection — they live beside the counters in the
+        exporter's ``otherData``.
+        """
+        from repro.darknet.im2col import patch_index_cache_info
+
+        info = patch_index_cache_info()
+        recorder.gauge("im2col.cache_hits", info.hits)
+        recorder.gauge("im2col.cache_misses", info.misses)
+
     def train(
         self,
         max_iterations: int,
@@ -187,38 +202,53 @@ class PliniusTrainer:
         iterations_run = 0
         flops = self.network.flops(batch)
 
+        recorder = self.clock.recorder
         while self.network.iteration < max_iterations:
             iteration = self.network.iteration
             if kill_hook is not None and kill_hook(iteration):
                 completed = False
                 break
 
-            with self.clock.stopwatch("fetch") as fetch_span:
-                x, y = self.pm_data.random_batch(
-                    batch, self._batch_rng(iteration)
+            outer = (
+                recorder.begin(
+                    "train.iteration",
+                    self.clock.now(),
+                    category="train",
+                    args={"iteration": iteration},
                 )
-                x = x.reshape((len(x),) + tuple(self.input_shape))
-                if self.async_mirror:
-                    # Snapshot the parameters for the mirror thread.
-                    self.clock.advance(
-                        self.network.param_bytes
-                        / self.profile.dram.write_bandwidth
+                if recorder.enabled
+                else None
+            )
+            try:
+                with self.clock.stopwatch("train.fetch") as fetch_span:
+                    x, y = self.pm_data.random_batch(
+                        batch, self._batch_rng(iteration)
                     )
+                    x = x.reshape((len(x),) + tuple(self.input_shape))
+                    if self.async_mirror:
+                        # Snapshot the parameters for the mirror thread.
+                        self.clock.advance(
+                            self.network.param_bytes
+                            / self.profile.dram.write_bandwidth
+                        )
 
-            with self.clock.stopwatch("compute") as compute_span:
-                self.clock.advance(compute.iteration_time(flops))
-                loss = self.network.train_batch(x, y)
+                with self.clock.stopwatch("train.compute") as compute_span:
+                    self.clock.advance(compute.iteration_time(flops))
+                    loss = self.network.train_batch(x, y)
 
-            mirror_seconds = 0.0
-            if (
-                self.crash_resilient
-                and self.network.iteration % self.mirror_every == 0
-            ):
-                timing = self.mirror.mirror_out(
-                    self.network, self.network.iteration
-                )
-                mirror_timings.append(timing)
-                mirror_seconds = timing.total
+                mirror_seconds = 0.0
+                if (
+                    self.crash_resilient
+                    and self.network.iteration % self.mirror_every == 0
+                ):
+                    timing = self.mirror.mirror_out(
+                        self.network, self.network.iteration
+                    )
+                    mirror_timings.append(timing)
+                    mirror_seconds = timing.total
+            finally:
+                if outer is not None:
+                    recorder.end(outer, self.clock.now())
 
             log.record(self.network.iteration, loss)
             iteration_timings.append(
@@ -229,6 +259,9 @@ class PliniusTrainer:
                 )
             )
             iterations_run += 1
+
+        if recorder.enabled:
+            self._sample_im2col_gauges(recorder)
 
         return TrainResult(
             log=log,

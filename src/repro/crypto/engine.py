@@ -33,6 +33,7 @@ import threading
 from typing import Callable, Optional, Union
 
 from repro.crypto.backend import AeadBackend, default_backend
+from repro.obs.recorder import NULL_RECORDER
 
 KEY_SIZE = 16  # bytes; "PLINIUS uses a 128 bit key for all operations"
 IV_SIZE = 12
@@ -58,13 +59,28 @@ class EncryptionEngine:
         :func:`repro.sgx.rand.sgx_read_rand` here for reproducibility.
     backend:
         AEAD backend; defaults to the fastest available.
+    observer:
+        Trace recorder mirroring the engine's stats into the
+        ``crypto.*`` counters (``crypto.seals``, ``crypto.bytes_sealed``,
+        ...); defaults to the null recorder.  Both the ``stats`` dict
+        and the observer are updated under the same lock, so they cannot
+        drift even with concurrent seals from the crypto pool.
     """
+
+    #: stats key -> counter name mirrored to the observer.
+    _COUNTER_NAMES = {
+        "seals": "crypto.seals",
+        "unseals": "crypto.unseals",
+        "bytes_sealed": "crypto.bytes_sealed",
+        "bytes_unsealed": "crypto.bytes_unsealed",
+    }
 
     def __init__(
         self,
         key: bytes,
         rand: Optional[RandomSource] = None,
         backend: Optional[AeadBackend] = None,
+        observer=NULL_RECORDER,
     ) -> None:
         if len(key) != KEY_SIZE:
             raise ValueError(
@@ -73,6 +89,7 @@ class EncryptionEngine:
         self.key = bytes(key)
         self._rand = rand if rand is not None else os.urandom
         self.backend = backend if backend is not None else default_backend()
+        self.observer = observer if observer is not None else NULL_RECORDER
         self._stats_lock = threading.Lock()
         self.stats = {"seals": 0, "unseals": 0, "bytes_sealed": 0, "bytes_unsealed": 0}
 
@@ -98,6 +115,10 @@ class EncryptionEngine:
         with self._stats_lock:
             self.stats[op] += 1
             self.stats[byte_op] += nbytes
+            observer = self.observer
+            if observer.enabled:
+                observer.count(self._COUNTER_NAMES[op])
+                observer.count(self._COUNTER_NAMES[byte_op], nbytes)
 
     def seal(
         self, plaintext: Buffer, aad: bytes = b"", iv: Optional[bytes] = None

@@ -128,6 +128,7 @@ class PersistentMemoryDevice:
         self._dirty.add(addr, addr + length)
         self._hot.add(addr, addr + length)
         self.stats["stores"] += 1
+        self.clock.recorder.count("pm.bytes_written", length)
         # Stores land in the cache hierarchy: cache-speed cost.  The PM
         # media write bandwidth is charged when the lines are flushed.
         self.clock.advance(
@@ -137,6 +138,8 @@ class PersistentMemoryDevice:
     def _charge_read(self, addr: int, length: int) -> None:
         """Bookkeeping + simulated cost of a load of ``length`` bytes."""
         self.stats["loads"] += 1
+        if length:
+            self.clock.recorder.count("pm.bytes_read", length)
         hot = self._hot.overlap_total(addr, addr + length) if length else 0
         cold = length - hot
         cost = self.load_cost + hot / self.cache_read_bandwidth
@@ -266,6 +269,10 @@ class PersistentMemoryDevice:
         )
         self.stats["flushes"] += nlines
         self.stats["media_bytes"] += dirty_bytes
+        recorder = self.clock.recorder
+        recorder.count("pm.flushes", nlines)
+        if dirty_bytes:
+            recorder.count("pm.bytes_flushed", dirty_bytes)
         # Per-line instruction cost plus the media write for dirty bytes.
         self.clock.advance(
             nlines * per_line + dirty_bytes / self.cost.write_bandwidth
@@ -278,6 +285,7 @@ class PersistentMemoryDevice:
         already modelled as immediately reaching the ADR domain)."""
         self._fault("fence")
         self.stats["fences"] += 1
+        self.clock.recorder.count("pm.fences")
         self.clock.advance(self.sfence_cost)
 
     def persist(

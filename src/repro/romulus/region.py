@@ -169,6 +169,15 @@ class RomulusRegion:
     def recover(self) -> RegionState:
         """Run Romulus recovery; returns the state found at attach time."""
         found = self.state
+        recorder = self.device.clock.recorder
+        if recorder.enabled:
+            recorder.count("romulus.recoveries")
+            recorder.instant(
+                "romulus.recover",
+                self.device.clock.now(),
+                category="romulus",
+                args={"found_state": found.name},
+            )
         if found is RegionState.MUTATING:
             # Main may be inconsistent: restore from back.
             self.device.copy_within(

@@ -131,6 +131,7 @@ class Transaction:
         # IDLE flushed but unfenced: crash here recovers as COPYING,
         # which re-copies a consistent main — safe and idempotent.
         region.set_state(RegionState.IDLE, fence=False)
+        device.clock.recorder.count("romulus.commits")
         self._close()
 
     def abort(self) -> None:
@@ -147,6 +148,7 @@ class Transaction:
         if instr.needs_fence:
             region.fence()
         region.set_state(RegionState.IDLE)
+        device.clock.recorder.count("romulus.aborts")
         self._close()
 
     # ------------------------------------------------------------------

@@ -46,6 +46,7 @@ class EnclaveRuntime:
             raise EnclaveCallError(f"no ecall registered as {name!r}") from None
         self._cross(2)  # enter + return
         self.stats["ecalls"] += 1
+        self.enclave.clock.recorder.count("sgx.ecalls")
         return fn(*args, **kwargs)
 
     def ocall(self, name: str, *args: Any, **kwargs: Any) -> Any:
@@ -56,8 +57,10 @@ class EnclaveRuntime:
             raise EnclaveCallError(f"no ocall registered as {name!r}") from None
         self._cross(2)  # exit + re-enter
         self.stats["ocalls"] += 1
+        self.enclave.clock.recorder.count("sgx.ocalls")
         return fn(*args, **kwargs)
 
     def _cross(self, crossings: int) -> None:
         self.stats["crossings"] += crossings
+        self.enclave.clock.recorder.count("sgx.crossings", crossings)
         self.enclave.clock.advance(self.enclave.sgx.transition_time(crossings))

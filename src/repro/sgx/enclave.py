@@ -124,10 +124,12 @@ class Enclave:
         self._check_alive()
         paging = self.sgx.paging_time(self.working_set, nbytes)
         if paging > 0:
+            paged = self.sgx.paged_bytes(self.working_set, nbytes)
             self.stats["paging_events"] += 1
-            self.stats["paged_bytes"] += self.sgx.paged_bytes(
-                self.working_set, nbytes
-            )
+            self.stats["paged_bytes"] += paged
+            recorder = self.clock.recorder
+            recorder.count("sgx.epc_page_swaps")
+            recorder.count("sgx.epc_paged_bytes", paged)
             self.clock.advance(paging)
 
     def copy_in(self, nbytes: int) -> None:

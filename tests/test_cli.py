@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import NULL_RECORDER, get_default_recorder
 
 
 class TestParser:
@@ -76,3 +79,48 @@ class TestCommands:
             == 0
         )
         assert "sgx-emlPM" in capsys.readouterr().out
+
+
+class TestTraceFlag:
+    @staticmethod
+    def _load_trace(path):
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert events, "trace must contain events"
+        for event in events:
+            assert "ph" in event and "pid" in event
+        return {e.get("name") for e in events}
+
+    def test_train_trace_writes_chrome_json(self, tmp_path, capsys):
+        path = tmp_path / "train.json"
+        assert (
+            main(
+                [
+                    "train", "--iterations", "3", "--rows", "128",
+                    "--trace", str(path),
+                ]
+            )
+            == 0
+        )
+        names = self._load_trace(path)
+        assert "train.iteration" in names
+        assert "mirror.encrypt" in names
+        assert "mirror.write" in names
+        out = capsys.readouterr().out
+        assert "trained 3 iterations" in out
+        assert "trace:" in out and str(path) in out
+
+    def test_fig7_trace_covers_save_and_restore(self, tmp_path, capsys):
+        path = tmp_path / "fig7.json"
+        assert main(["fig7", "--trace", str(path)]) == 0
+        names = self._load_trace(path)
+        assert "mirror.out" in names and "mirror.in" in names
+        assert "ckpt.encrypt" in names  # SSD baseline traced too
+        assert "save x" in capsys.readouterr().out
+
+    def test_trace_flag_restores_default_recorder(self, tmp_path):
+        assert get_default_recorder() is NULL_RECORDER
+        path = tmp_path / "fig8.json"
+        assert main(["fig8", "--trace", str(path)]) == 0
+        assert get_default_recorder() is NULL_RECORDER
+        assert path.exists()
