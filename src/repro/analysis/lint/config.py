@@ -1,0 +1,265 @@
+"""Repo-specific knowledge the rules consult.
+
+The module sets here mirror the trusted/untrusted partitioning of
+:mod:`repro.analysis.tcb` (a test asserts they stay in sync) and add the
+linter-only classifications: which modules implement the PM durability
+protocols (and are therefore allowed to touch the raw device), which are
+governed by the deterministic simulated clock, and which symbols must
+never be referenced from untrusted code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+# ----------------------------------------------------------------------
+# PM001 — PM-store discipline
+# ----------------------------------------------------------------------
+
+#: Modules that *implement* the durability protocols PM001 enforces:
+#: the device model itself and the Romulus/undo-log transaction
+#: machinery.  Raw stores inside them are the protocol, not a bypass.
+PM_PROTOCOL_MODULES: Tuple[str, ...] = (
+    "repro.hw.pmem",
+    "repro.romulus.region",
+    "repro.romulus.transaction",
+    "repro.romulus.undolog",
+)
+
+#: Method names that mutate PM state when invoked on a device/region.
+PM_WRITE_METHODS: FrozenSet[str] = frozenset(
+    {"write", "write_prefilled", "copy_within"}
+)
+
+#: Methods returning writable views of PM (mutation-by-aliasing).
+PM_VIEW_METHODS: FrozenSet[str] = frozenset(
+    {"staging_view", "volatile_view"}
+)
+
+#: Receiver tails treated as PM objects (``self.region.device`` -> the
+#: tail is ``device``).  ``tx``/``transaction`` receivers are the
+#: sanctioned path and are deliberately absent.
+PM_RECEIVER_TAILS: FrozenSet[str] = frozenset(
+    {"pm", "pmem", "device", "region"}
+)
+
+# ----------------------------------------------------------------------
+# SEC001 — seal-before-persist taint tracking
+# ----------------------------------------------------------------------
+
+#: Modules implementing the sealing machinery itself (they necessarily
+#: handle plaintext next to sinks and are exempt from SEC001).
+SEC_IMPLEMENTATION_MODULES: Tuple[str, ...] = (
+    "repro.crypto",
+    "repro.sgx.sealing",
+)
+
+#: Calls whose *result* is plaintext model/tensor bytes (taint sources).
+TAINT_SOURCE_CALLS: FrozenSet[str] = frozenset(
+    {"save_weights", "tobytes", "parameter_buffers", "ascontiguousarray"}
+)
+
+#: Calls whose result is freshly *decrypted* plaintext.
+TAINT_DECRYPT_CALLS: FrozenSet[str] = frozenset(
+    {"unseal", "unseal_from", "decrypt", "open_model"}
+)
+
+#: Identifier substrings marking a variable as plaintext by convention.
+TAINT_NAME_MARKERS: Tuple[str, ...] = ("plaintext", "cleartext")
+
+#: Method names whose call result is sealed/encrypted (sanitizers).
+#: Checked with the decrypt list above taking precedence (``unseal``
+#: contains ``seal``).
+SANITIZER_MARKERS: Tuple[str, ...] = ("seal", "encrypt")
+
+#: Sink methods: ``<receiver>.write(...)`` on these receivers persists
+#: its arguments; ``ocall`` hands them to untrusted host code.
+SINK_WRITE_RECEIVERS: FrozenSet[str] = frozenset(
+    {"tx", "transaction", "pm", "pmem", "device", "region", "ssd", "dram"}
+)
+SINK_CALL_NAMES: FrozenSet[str] = frozenset({"ocall"})
+
+# ----------------------------------------------------------------------
+# SEC002 — enclave-only symbols
+# ----------------------------------------------------------------------
+
+#: Modules whose contents exist only inside the (simulated) enclave:
+#: the sealing-key derivation and the in-enclave DRNG.
+ENCLAVE_ONLY_MODULES: Tuple[str, ...] = (
+    "repro.sgx.sealing",
+    "repro.sgx.rand",
+)
+
+#: Individual enclave-only symbols (wherever they are imported from).
+ENCLAVE_ONLY_NAMES: FrozenSet[str] = frozenset(
+    {"sgx_read_rand", "SgxRandom", "seal_data", "unseal_data", "hkdf_sha256"}
+)
+
+#: Modules running *outside* the enclave under the paper's partitioning.
+#: Kept in sync with ``repro.analysis.tcb.UNTRUSTED_MODULES`` by
+#: ``tests/test_lint.py``; fixture modules can opt in via the
+#: ``# repro: lint-module[...]`` override.
+UNTRUSTED_MODULES: Tuple[str, ...] = (
+    "repro.darknet.cfg",
+    "repro.darknet.data",
+    "repro.data.mnist",
+    "repro.hw.intervals",
+    "repro.hw.pmem",
+    "repro.hw.ssd",
+    "repro.hw.dram",
+    "repro.hw.fio",
+    "repro.sgx.enclave",
+    "repro.sgx.ecall",
+    "repro.sgx.attestation",
+    "repro.romulus.runtime",
+    "repro.romulus.sps",
+    "repro.core.checkpoint",
+    "repro.core.models",
+    "repro.core.system",
+    "repro.core.workflow",
+    "repro.spot.traces",
+    "repro.spot.simulator",
+    "repro.simtime.clock",
+    "repro.simtime.costs",
+    "repro.simtime.profiles",
+    "repro.distributed.link",
+    "repro.distributed.data_parallel",
+    "repro.distributed.pipeline",
+    "repro.gpu.device",
+    "repro.gpu.offload",
+    "repro.obs.recorder",
+    "repro.obs.metrics",
+    "repro.obs.export",
+    "repro.analysis.tcb",
+    "repro.analysis.lint.framework",
+    "repro.analysis.lint.config",
+    "repro.analysis.lint.rules_pm",
+    "repro.analysis.lint.rules_sec",
+    "repro.analysis.lint.rules_det",
+    "repro.analysis.lint.rules_lck",
+    "repro.analysis.lint.reporters",
+    "repro.analysis.lint.runner",
+    "repro.cli",
+)
+
+# ----------------------------------------------------------------------
+# DET001 — sim-time determinism
+# ----------------------------------------------------------------------
+
+#: Module prefixes exempt from DET001: the wall-clock observability lane
+#: (dual-clock tracing *needs* ``perf_counter``), benchmark harnesses
+#: (they measure real time by design), and the analysis tooling itself.
+DET_EXEMPT_PREFIXES: Tuple[str, ...] = (
+    "repro.obs",
+    "repro.bench",
+    "repro.analysis",
+    "repro.cli",
+)
+
+#: Fully qualified callables that read a wall clock or host entropy.
+NONDETERMINISTIC_CALLS: FrozenSet[str] = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.urandom",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.randbits",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+#: Module-level RNG functions drawing from hidden global state.
+GLOBAL_RNG_FUNCTIONS: FrozenSet[str] = frozenset(
+    {f"random.{name}" for name in (
+        "random", "randint", "randrange", "choice", "choices", "shuffle",
+        "sample", "uniform", "gauss", "normalvariate", "betavariate",
+        "seed", "getrandbits",
+    )}
+    | {f"numpy.random.{name}" for name in (
+        "rand", "randn", "randint", "random", "random_sample", "seed",
+        "shuffle", "permutation", "choice", "normal", "uniform",
+        "standard_normal", "bytes",
+    )}
+)
+
+#: Constructors that must receive an explicit seed to be deterministic.
+SEEDED_CONSTRUCTORS: FrozenSet[str] = frozenset(
+    {
+        "random.Random",
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+        "repro.sgx.rand.SgxRandom",
+    }
+)
+
+# ----------------------------------------------------------------------
+# LCK001 — lock-guarded fields
+# ----------------------------------------------------------------------
+
+#: Callables whose result is a mutual-exclusion primitive; a
+#: ``self.X = threading.Lock()`` assignment marks ``X`` as a lock
+#: attribute of the class.
+LOCK_CONSTRUCTORS: FrozenSet[str] = frozenset(
+    {"threading.Lock", "threading.RLock", "multiprocessing.Lock"}
+)
+
+#: Method names that mutate a container in place.
+MUTATING_METHODS: FrozenSet[str] = frozenset(
+    {
+        "append", "add", "update", "clear", "pop", "popitem", "remove",
+        "extend", "insert", "setdefault", "discard", "appendleft",
+    }
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Aggregated configuration handed to every rule.
+
+    The defaults encode this repository's layout; tests build modified
+    copies (``dataclasses.replace``) to exercise classification edges.
+    """
+
+    pm_protocol_modules: Tuple[str, ...] = PM_PROTOCOL_MODULES
+    sec_implementation_modules: Tuple[str, ...] = SEC_IMPLEMENTATION_MODULES
+    enclave_only_modules: Tuple[str, ...] = ENCLAVE_ONLY_MODULES
+    enclave_only_names: FrozenSet[str] = ENCLAVE_ONLY_NAMES
+    untrusted_modules: Tuple[str, ...] = UNTRUSTED_MODULES
+    det_exempt_prefixes: Tuple[str, ...] = DET_EXEMPT_PREFIXES
+
+    # ------------------------------------------------------------------
+    def is_pm_protocol_module(self, module: str) -> bool:
+        return module in self.pm_protocol_modules
+
+    def is_sec_implementation_module(self, module: str) -> bool:
+        return any(
+            module == m or module.startswith(m + ".")
+            for m in self.sec_implementation_modules
+        )
+
+    def is_untrusted(self, module: str) -> bool:
+        return module in self.untrusted_modules
+
+    def is_det_governed(self, module: str) -> bool:
+        """Whether DET001 applies: every module except the wall-clock
+        observability lane, benchmarks, and the analysis tooling."""
+        return not any(
+            module == p or module.startswith(p + ".")
+            for p in self.det_exempt_prefixes
+        )
+
+
+DEFAULT_CONFIG = LintConfig()

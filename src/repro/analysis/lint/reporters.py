@@ -1,0 +1,45 @@
+"""Rendering of lint results: human-readable text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.analysis.lint.framework import Finding, Severity
+
+
+def render_text(findings: List[Finding], files_checked: int) -> str:
+    """GCC-style ``path:line:col: severity RULE message`` listing."""
+    lines: List[str] = []
+    for finding in sorted(
+        findings, key=lambda f: (f.path, f.line, f.col, f.rule_id)
+    ):
+        lines.append(
+            f"{finding.location()}: {finding.severity} "
+            f"[{finding.rule_id}] {finding.message}"
+        )
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    warnings = len(findings) - errors
+    lines.append(
+        f"checked {files_checked} file(s): "
+        f"{errors} error(s), {warnings} warning(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: List[Finding], files_checked: int) -> str:
+    """Stable JSON document for CI consumers and editor integrations."""
+    payload: Dict[str, object] = {
+        "files_checked": files_checked,
+        "errors": sum(1 for f in findings if f.severity is Severity.ERROR),
+        "warnings": sum(
+            1 for f in findings if f.severity is Severity.WARNING
+        ),
+        "findings": [
+            f.to_dict()
+            for f in sorted(
+                findings, key=lambda f: (f.path, f.line, f.col, f.rule_id)
+            )
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

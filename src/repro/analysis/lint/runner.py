@@ -1,0 +1,103 @@
+"""Discovery + orchestration: run every rule over a set of paths.
+
+``run_paths`` is the single entry point the CLI and the tests share.
+Exit-code policy: ERROR findings always fail the run; WARNING findings
+fail only under ``--strict`` (the CI lint job passes ``--strict`` so a
+new wall-clock call cannot land silently).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.analysis.lint.config import DEFAULT_CONFIG, LintConfig
+from repro.analysis.lint.framework import (
+    Finding,
+    ModuleSource,
+    Rule,
+    Severity,
+    suppression_findings,
+)
+from repro.analysis.lint.rules_det import SimtimeDeterminismRule
+from repro.analysis.lint.rules_lck import LockDisciplineRule
+from repro.analysis.lint.rules_pm import PmStoreDisciplineRule
+from repro.analysis.lint.rules_sec import (
+    EnclaveBoundaryRule,
+    SealBeforePersistRule,
+)
+
+
+def default_rules(config: LintConfig = DEFAULT_CONFIG) -> List[Rule]:
+    """The full rule set, in report order."""
+    return [
+        PmStoreDisciplineRule(config),
+        SealBeforePersistRule(config),
+        EnclaveBoundaryRule(config),
+        SimtimeDeterminismRule(config),
+        LockDisciplineRule(config),
+    ]
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding]
+    files_checked: int
+
+    def exit_code(self, strict: bool = False) -> int:
+        if any(f.severity is Severity.ERROR for f in self.findings):
+            return 1
+        if strict and self.findings:
+            return 1
+        return 0
+
+
+def discover_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    # de-duplicate while keeping the sorted-per-argument order
+    seen = set()
+    unique: List[Path] = []
+    for f in files:
+        key = f.resolve()
+        if key not in seen:
+            seen.add(key)
+            unique.append(f)
+    return unique
+
+
+def lint_file(
+    path: Path, rules: Iterable[Rule]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Lint one file; returns (kept findings, suppressed findings)."""
+    src = ModuleSource.load(path)
+    raw: List[Finding] = []
+    for rule in rules:
+        raw.extend(rule.check(src))
+    raw.extend(suppression_findings(src))
+    kept = [f for f in raw if not src.suppressions.is_suppressed(f)]
+    dropped = [f for f in raw if src.suppressions.is_suppressed(f)]
+    return kept, dropped
+
+
+def run_paths(
+    paths: Sequence[Path],
+    config: LintConfig = DEFAULT_CONFIG,
+    rules: Iterable[Rule] | None = None,
+) -> LintResult:
+    """Lint every ``.py`` file under ``paths`` with the default rules."""
+    active = list(rules) if rules is not None else default_rules(config)
+    findings: List[Finding] = []
+    files = discover_files(paths)
+    for path in files:
+        kept, _ = lint_file(path, active)
+        findings.extend(kept)
+    return LintResult(findings=findings, files_checked=len(files))

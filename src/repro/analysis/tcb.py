@@ -14,6 +14,7 @@ reduction versus an all-in-enclave design is reported.
 from __future__ import annotations
 
 import importlib
+import json
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Tuple
@@ -43,9 +44,19 @@ TRUSTED_MODULES = (
     "repro.crypto.backend",
     "repro.crypto.engine",
     "repro.sgx.sealing",
+    "repro.sgx.rand",
+    "repro.sgx.counters",
     "repro.core.mirror",
     "repro.core.pm_data",
     "repro.core.trainer",
+    "repro.core.freshness",
+    "repro.core.serving",
+    "repro.minitf.model",
+    "repro.minitf.autograd",
+    "repro.minitf.ops",
+    "repro.minitf.mirroring",
+    "repro.distributed.worker",
+    "repro.romulus.undolog",
 )
 
 #: Modules kept outside the enclave (sgx-romulus-helper,
@@ -63,7 +74,6 @@ UNTRUSTED_MODULES = (
     "repro.sgx.enclave",
     "repro.sgx.ecall",
     "repro.sgx.attestation",
-    "repro.sgx.rand",
     "repro.romulus.runtime",
     "repro.romulus.sps",
     "repro.core.checkpoint",
@@ -72,6 +82,27 @@ UNTRUSTED_MODULES = (
     "repro.core.workflow",
     "repro.spot.traces",
     "repro.spot.simulator",
+    "repro.simtime.clock",
+    "repro.simtime.costs",
+    "repro.simtime.profiles",
+    "repro.distributed.link",
+    "repro.distributed.data_parallel",
+    "repro.distributed.pipeline",
+    "repro.gpu.device",
+    "repro.gpu.offload",
+    "repro.obs.recorder",
+    "repro.obs.metrics",
+    "repro.obs.export",
+    "repro.analysis.tcb",
+    "repro.analysis.lint.framework",
+    "repro.analysis.lint.config",
+    "repro.analysis.lint.rules_pm",
+    "repro.analysis.lint.rules_sec",
+    "repro.analysis.lint.rules_det",
+    "repro.analysis.lint.rules_lck",
+    "repro.analysis.lint.reporters",
+    "repro.analysis.lint.runner",
+    "repro.cli",
 )
 
 #: Extra runtime LoC an all-in-enclave design drags in.  The paper's
@@ -169,3 +200,20 @@ def render_report(report: TcbReport) -> str:
     lines.append("-" * 58)
     lines.append(report.summary())
     return "\n".join(lines)
+
+
+def render_report_json(report: TcbReport) -> str:
+    """Machine-readable report (the ``tcb --format json`` shape)."""
+    payload = {
+        "trusted_loc": report.trusted_loc,
+        "untrusted_loc": report.untrusted_loc,
+        "total_loc": report.total_loc,
+        "libos_runtime_loc": report.libos_runtime_loc,
+        "libos_tcb_loc": report.libos_tcb_loc,
+        "reduction": round(report.reduction, 4),
+        "modules": [
+            {"module": name, "side": side, "loc": loc}
+            for name, (side, loc) in sorted(report.per_module.items())
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -18,7 +18,7 @@ is constant, so "every 10-15 minutes" is a uniform iteration gap).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

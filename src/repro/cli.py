@@ -163,9 +163,26 @@ def _cmd_inference(args: argparse.Namespace) -> None:
 
 def _cmd_tcb(args: argparse.Namespace) -> None:
     from repro.analysis import tcb_report
-    from repro.analysis.tcb import render_report
+    from repro.analysis.tcb import render_report, render_report_json
 
-    print(render_report(tcb_report()))
+    report = tcb_report()
+    if getattr(args, "format", "text") == "json":
+        print(render_report_json(report))
+    else:
+        print(render_report(report))
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.lint import render_json, render_text, run_paths
+
+    result = run_paths([Path(p) for p in args.paths])
+    if args.format == "json":
+        print(render_json(result.findings, result.files_checked))
+    elif result.findings or args.format == "text":
+        print(render_text(result.findings, result.files_checked))
+    return result.exit_code(strict=args.strict)
 
 
 def _cmd_train(args: argparse.Namespace) -> None:
@@ -217,7 +234,36 @@ def build_parser() -> argparse.ArgumentParser:
     for name, (fn, help_text) in commands.items():
         cmd = sub.add_parser(name, help=help_text)
         _add_trace_flag(cmd)
+        if name == "tcb":
+            cmd.add_argument(
+                "--format",
+                choices=["text", "json"],
+                default="text",
+                help="report format (json for CI consumers)",
+            )
         cmd.set_defaults(func=fn)
+
+    lint = sub.add_parser(
+        "lint", help="run the repo-specific invariant linter"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="finding output format",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as failures (CI mode)",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     train = sub.add_parser("train", help="train a CNN with mirroring")
     train.add_argument("--iterations", type=int, default=100)
@@ -245,8 +291,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     trace_path = getattr(args, "trace", None)
     if trace_path is None:
-        args.func(args)
-        return 0
+        return args.func(args) or 0
 
     from repro.obs import (
         TraceRecorder,
@@ -258,8 +303,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     # every system) the command creates attach to this recorder.
     recorder = TraceRecorder()
     previous = install_default_recorder(recorder)
+    rc = 0
     try:
-        args.func(args)
+        rc = args.func(args) or 0
     finally:
         install_default_recorder(previous)
         write_chrome_trace(recorder, trace_path)
@@ -268,7 +314,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{len(recorder.events)} events, "
             f"{len(recorder.counters)} metrics -> {trace_path}"
         )
-    return 0
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

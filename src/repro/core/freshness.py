@@ -26,7 +26,6 @@ rollback window (< K iterations) for throughput — quantified in
 from __future__ import annotations
 
 import struct
-from typing import Optional
 
 from repro.core.mirror import MirrorModule, MirrorTiming
 from repro.darknet.network import Network

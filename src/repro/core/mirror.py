@@ -287,6 +287,8 @@ class MirrorModule:
         size, offset = refs[index]
         if size != sealed_size:
             return None
+        # repro: noqa[PM001] -- zero-copy seal-in-place protocol: the caller
+        # accounts this exact range via tx.write_prefilled before commit
         return self.region.staging_view(offset, size)
 
     def _seal_serial(self, network: Network, slots=None) -> List[List[object]]:
@@ -524,7 +526,7 @@ class MirrorModule:
             for size, offset in refs:
                 if (offset, size) in done:
                     continue
-                device.copy_within(
+                device.copy_within(  # repro: noqa[PM001] -- abort-path restore from the back twin, mirroring the Romulus recovery copy
                     self.region.back_base + offset,
                     self.region.main_base + offset,
                     size,

@@ -79,7 +79,7 @@ def build_mnist_cnn(
             learning_rate=learning_rate,
         )
     )
-    return build_network(config, rng or np.random.default_rng())
+    return build_network(config, rng or np.random.default_rng(0))
 
 
 def mnist_cnn_config(

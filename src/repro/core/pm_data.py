@@ -15,7 +15,7 @@ baseline.
 from __future__ import annotations
 
 import struct
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -127,6 +127,8 @@ class PmDataModule:
                 else:
                     payload += row
             with self.region.begin_transaction() as tx:
+                # repro: noqa[SEC001] -- encrypted=False is the deliberate
+                # plaintext baseline of the Fig. 8 comparison, never the default
                 tx.write(rows_offset + start * row_stored, bytes(payload))
         return len(data) * row_stored
 

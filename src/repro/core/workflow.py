@@ -30,7 +30,7 @@ from repro.darknet.data import DataMatrix
 from repro.darknet.network import Network
 from repro.darknet.weights import save_weights
 from repro.sgx.attestation import establish_channel
-from repro.sgx.rand import SgxRandom
+from repro.sgx.rand import SgxRandom  # repro: noqa[SEC002] -- the DataOwner's own CSPRNG on the client side of Fig. 3, not enclave state
 
 _ROW_HEADER = struct.Struct("<QQQ")  # rows, features, classes
 

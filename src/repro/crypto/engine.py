@@ -87,7 +87,7 @@ class EncryptionEngine:
                 f"Plinius uses {8 * KEY_SIZE}-bit keys; got {len(key)} bytes"
             )
         self.key = bytes(key)
-        self._rand = rand if rand is not None else os.urandom
+        self._rand = rand if rand is not None else os.urandom  # repro: noqa[DET001] -- GCM IVs must come from real entropy in production; tests inject a counter source
         self.backend = backend if backend is not None else default_backend()
         self.observer = observer if observer is not None else NULL_RECORDER
         self._stats_lock = threading.Lock()
@@ -96,7 +96,7 @@ class EncryptionEngine:
     @classmethod
     def generate_key(cls, rand: Optional[RandomSource] = None) -> bytes:
         """Generate a fresh 128-bit key (in-enclave path of Section IV)."""
-        source = rand if rand is not None else os.urandom
+        source = rand if rand is not None else os.urandom  # repro: noqa[DET001] -- key generation requires real entropy outside tests
         return source(KEY_SIZE)
 
     def new_iv(self) -> bytes:

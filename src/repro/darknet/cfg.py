@@ -110,7 +110,7 @@ def build_network(
     This is the enclave-side model construction (``create_enclave_model``
     of Algorithm 2); ``rng`` seeds the weight initialization.
     """
-    rng = rng or np.random.default_rng()
+    rng = rng or np.random.default_rng(0)
     shape: Tuple[int, ...] = config.input_shape
     if shape[1] <= 0 or shape[2] <= 0:
         raise ValueError("[net] must define height and width")

@@ -29,7 +29,7 @@ class ConnectedLayer(Layer):
         self.activation = get_activation(activation)
         self.out_shape = (outputs,)
 
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng(0)
         scale = np.sqrt(2.0 / inputs)
         self.weights = (
             scale * rng.uniform(-1, 1, size=(outputs, inputs))

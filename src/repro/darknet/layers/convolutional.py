@@ -54,7 +54,7 @@ class ConvolutionalLayer(Layer):
         self.activation = get_activation(activation)
         self.out_shape = (filters, out_h, out_w)
 
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng(0)
         fan_in = c * kernel * kernel
         scale = np.sqrt(2.0 / fan_in)  # Darknet's initialization
         self.weights = (

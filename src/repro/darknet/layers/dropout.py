@@ -25,7 +25,7 @@ class DropoutLayer(Layer):
         self.in_shape = in_shape
         self.out_shape = in_shape
         self.probability = probability
-        self.rng = rng or np.random.default_rng()
+        self.rng = rng or np.random.default_rng(0)
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:

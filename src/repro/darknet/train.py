@@ -54,7 +54,7 @@ def train(
 ) -> TrainingLog:
     """Train for ``iterations`` batches; returns the loss log."""
     batch = batch_size if batch_size is not None else network.batch
-    rng = rng or np.random.default_rng()
+    rng = rng or np.random.default_rng(0)
     log = log if log is not None else TrainingLog()
     for _ in range(iterations):
         x, y = data.random_batch(batch, rng)

@@ -9,7 +9,6 @@ and that tampering in flight fails the MAC.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 

@@ -53,7 +53,7 @@ class OffloadedConvolution:
         self.layer = layer
         self.gpu = gpu
         self.compute = compute
-        self.rng = rng or np.random.default_rng()
+        self.rng = rng or np.random.default_rng(0)
         self.freivalds_rounds = freivalds_rounds
         self.out_shape = layer.out_shape
         self._blinds: List[tuple] = []
@@ -173,7 +173,7 @@ def offload_network(
     freivalds_rounds: int = 2,
 ) -> _OffloadedNetwork:
     """Wrap every convolution of ``network`` for GPU inference."""
-    rng = rng or np.random.default_rng()
+    rng = rng or np.random.default_rng(0)
     wrapped = []
     for layer in network.layers:
         if isinstance(layer, ConvolutionalLayer):

@@ -21,7 +21,7 @@ class MlpClassifier:
     ) -> None:
         if len(layer_sizes) < 2:
             raise ValueError("need at least input and output sizes")
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng(0)
         self.layer_sizes = tuple(layer_sizes)
         self.learning_rate = learning_rate
         self.variables: List[Variable] = []

@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import enum
 import struct
-from typing import Optional
 
 from repro.hw.pmem import FlushInstruction, PersistentMemoryDevice
 from repro.romulus.runtime import NATIVE, RuntimeProfile

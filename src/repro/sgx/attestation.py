@@ -27,7 +27,7 @@ from typing import Optional, Tuple
 
 from repro.crypto.engine import EncryptionEngine, RandomSource
 from repro.sgx.enclave import Enclave
-from repro.sgx.sealing import hkdf_sha256
+from repro.sgx.sealing import hkdf_sha256  # repro: noqa[SEC002] -- models both endpoints of the DH exchange; the enclave-side derivation is the in-enclave step of remote attestation
 
 # RFC 3526 group 14 (2048-bit MODP); generator 2.
 _MODP_PRIME = int(

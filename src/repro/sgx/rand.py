@@ -16,7 +16,7 @@ class SgxRandom:
     """A seedable CSPRNG with the ``sgx_read_rand`` calling convention."""
 
     def __init__(self, seed: Optional[bytes] = None) -> None:
-        self._key = seed if seed is not None else os.urandom(32)
+        self._key = seed if seed is not None else os.urandom(32)  # repro: noqa[DET001] -- models the hardware DRNG (sgx_read_rand); deterministic tests inject a seed
         self._counter = 0
 
     def read(self, nbytes: int) -> bytes:

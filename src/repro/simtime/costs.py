@@ -9,7 +9,6 @@ is documented there and in ``EXPERIMENTS.md``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 KIB = 1024
 MIB = 1024 * KIB

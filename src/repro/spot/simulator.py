@@ -16,7 +16,7 @@ scratch otherwise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 from repro.core.system import PliniusSystem

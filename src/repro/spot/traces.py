@@ -10,7 +10,7 @@ reasonable bid, punctuated by short excursions above it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -1,0 +1,19 @@
+"""DET001 fixture: wall clocks and hidden-state RNG in governed code."""
+
+import random
+import time
+
+import numpy as np
+
+
+def wall_clock_timing():
+    start = time.perf_counter()
+    return time.time() - start
+
+
+def global_rng_batch(n):
+    return [random.randint(0, 255) for _ in range(n)], np.random.rand(n)
+
+
+def unseeded_generator():
+    return np.random.default_rng()

@@ -1,0 +1,8 @@
+# repro: lint-module[repro.obs.recorder]
+"""DET001 fixture: the obs wall-clock lane is allowlisted by design."""
+
+import time
+
+
+def wall_timestamp():
+    return time.perf_counter()

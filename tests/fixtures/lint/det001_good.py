@@ -1,0 +1,14 @@
+"""DET001 fixture: sim-clock time and explicitly seeded generators."""
+
+import numpy as np
+
+
+def sim_clock_timing(clock):
+    start = clock.now()
+    clock.advance(0.5)
+    return clock.now() - start
+
+
+def seeded_generator(seed):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 255, size=16)

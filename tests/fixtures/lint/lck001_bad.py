@@ -1,0 +1,21 @@
+"""LCK001 fixture: guarded stats mutated outside the lock."""
+
+import threading
+
+
+class Aggregator:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.stats = {"seals": 0}
+        self.samples = []
+
+    def record(self, n):
+        with self._lock:
+            self.stats["seals"] += n
+            self.samples.append(n)
+
+    def racy_reset(self):
+        self.stats["seals"] = 0  # guarded elsewhere, no lock here
+
+    def racy_append(self, n):
+        self.samples.append(n)  # guarded elsewhere, no lock here

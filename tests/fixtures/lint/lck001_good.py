@@ -1,0 +1,27 @@
+"""LCK001 fixture: every guarded mutation stays under the lock."""
+
+import threading
+
+
+class Aggregator:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.stats = {"seals": 0}
+
+    def record(self, n):
+        with self._lock:
+            self.stats["seals"] += n
+
+    def reset(self):
+        with self._lock:
+            self.stats["seals"] = 0
+
+
+class Unlocked:
+    """No lock attribute at all: single-threaded by design, not flagged."""
+
+    def __init__(self):
+        self.stats = {"seals": 0}
+
+    def record(self, n):
+        self.stats["seals"] += n

@@ -1,0 +1,5 @@
+"""SUP001 fixture: a suppression without a rationale is itself flagged."""
+
+
+def bare_directive(device, payload):
+    device.write(0x100, payload)  # repro: noqa[PM001]

@@ -1,0 +1,15 @@
+"""PM001 fixture: raw PM stores and views outside any transaction."""
+
+
+def untransacted_store(device, payload):
+    device.write(0x100, payload)  # raw store, no transaction
+
+
+def untransacted_copy(region):
+    region.copy_within(0, 4096, 256)  # raw twin copy, no transaction
+
+
+def naked_view(region):
+    view = region.staging_view(64, 128)  # writable alias, no transaction
+    view[:] = b"\x00" * 128
+    return view

@@ -1,0 +1,19 @@
+"""PM001 fixture: all PM mutation rides the Romulus transaction API."""
+
+
+def transacted_store(region, payload):
+    with region.begin_transaction() as tx:
+        tx.write(0x100, payload)
+
+
+def transacted_view(region):
+    with region.begin_transaction() as tx:
+        view = region.staging_view(64, 128)
+        view[:] = b"\x00" * 128
+        tx.write_prefilled(64, 128)
+
+
+def reads_are_fine(region, device):
+    a = region.read(0, 64)
+    b = device.read(64, 64)
+    return a + b

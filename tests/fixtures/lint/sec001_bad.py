@@ -1,0 +1,16 @@
+"""SEC001 fixture: plaintext flows into persistent sinks unsealed."""
+
+
+def leak_weights(network, tx):
+    plaintext = network.save_weights()
+    tx.write(0, plaintext)  # sealed? no — straight to PM
+
+
+def leak_via_alias(buffer, ssd):
+    staged = bytes(buffer.tobytes())
+    ssd.write(0, staged)
+
+
+def leak_decrypted(engine, blob, device):
+    row = engine.unseal(blob)
+    device.write(128, row)  # decrypted bytes written back unsealed

@@ -1,0 +1,16 @@
+"""SEC001 fixture: sealing sits between plaintext and every sink."""
+
+
+def sealed_weights(network, engine, tx):
+    plaintext = network.save_weights()
+    sealed = engine.seal(plaintext)
+    tx.write(0, sealed)
+
+
+def sealed_chain(buffer, engine, ssd):
+    staged = bytes(buffer.tobytes())
+    ssd.write(0, engine.seal(staged))
+
+
+def harmless_sink(metrics, ssd):
+    ssd.write(0, metrics)  # not derived from any plaintext source

@@ -1,0 +1,10 @@
+# repro: lint-module[repro.core.system]
+"""SEC002 fixture: untrusted module touching enclave-only symbols."""
+
+from repro.sgx.rand import SgxRandom
+from repro.sgx.sealing import seal_data
+
+
+def helper(payload):
+    rng = SgxRandom()
+    return seal_data(payload, rng.bytes(12))

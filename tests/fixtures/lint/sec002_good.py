@@ -1,0 +1,10 @@
+# repro: lint-module[repro.core.mirror]
+"""SEC002 fixture: a *trusted* module may use enclave-only symbols."""
+
+from repro.sgx.rand import SgxRandom
+from repro.sgx.sealing import seal_data
+
+
+def in_enclave(payload):
+    rng = SgxRandom(seed=b"\x00" * 32)
+    return seal_data(payload, rng.bytes(12))

@@ -1,0 +1,12 @@
+# repro: noqa-file[DET001] -- fixture: whole-file wall-clock allowance
+"""File-wide suppression fixture."""
+
+import time
+
+
+def first():
+    return time.time()
+
+
+def second():
+    return time.perf_counter()
