@@ -138,9 +138,20 @@ UNTRUSTED_MODULES: Tuple[str, ...] = (
     "repro.analysis.lint.rules_sec",
     "repro.analysis.lint.rules_det",
     "repro.analysis.lint.rules_lck",
+    "repro.analysis.lint.rules_flt",
     "repro.analysis.lint.reporters",
     "repro.analysis.lint.runner",
     "repro.cli",
+    # The fault-injection engine is test harness, not enclave code: it
+    # drives the system from outside (the attacker/operator position),
+    # so it sits on the untrusted side of the SEC002/TCB boundary while
+    # staying fully DET-governed (deterministic replay is its contract).
+    "repro.faults.registry",
+    "repro.faults.plan",
+    "repro.faults.invariants",
+    "repro.faults.workload",
+    "repro.faults.explorer",
+    "repro.faults.mutations",
 )
 
 # ----------------------------------------------------------------------

@@ -21,6 +21,7 @@ from repro.analysis.lint.framework import (
     suppression_findings,
 )
 from repro.analysis.lint.rules_det import SimtimeDeterminismRule
+from repro.analysis.lint.rules_flt import FaultSiteRegistryRule
 from repro.analysis.lint.rules_lck import LockDisciplineRule
 from repro.analysis.lint.rules_pm import PmStoreDisciplineRule
 from repro.analysis.lint.rules_sec import (
@@ -37,6 +38,7 @@ def default_rules(config: LintConfig = DEFAULT_CONFIG) -> List[Rule]:
         EnclaveBoundaryRule(config),
         SimtimeDeterminismRule(config),
         LockDisciplineRule(config),
+        FaultSiteRegistryRule(config),
     ]
 
 

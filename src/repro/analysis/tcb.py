@@ -100,9 +100,18 @@ UNTRUSTED_MODULES = (
     "repro.analysis.lint.rules_sec",
     "repro.analysis.lint.rules_det",
     "repro.analysis.lint.rules_lck",
+    "repro.analysis.lint.rules_flt",
     "repro.analysis.lint.reporters",
     "repro.analysis.lint.runner",
     "repro.cli",
+    # Fault-injection harness: drives the system from the operator /
+    # attacker position, hence outside the enclave TCB.
+    "repro.faults.registry",
+    "repro.faults.plan",
+    "repro.faults.invariants",
+    "repro.faults.workload",
+    "repro.faults.explorer",
+    "repro.faults.mutations",
 )
 
 #: Extra runtime LoC an all-in-enclave design drags in.  The paper's

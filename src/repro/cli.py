@@ -185,6 +185,41 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return result.exit_code(strict=args.strict)
 
 
+def _cmd_crashtest(args: argparse.Namespace) -> int:
+    from repro.faults.explorer import ExploreConfig, explore
+    from repro.faults.registry import SITES
+
+    if args.list_sites:
+        for name in sorted(SITES):
+            site = SITES[name]
+            print(f"{name:<30} [{'/'.join(site.kinds)}] {site.description}")
+        return 0
+
+    config = ExploreConfig(
+        exhaustive=args.exhaustive or args.samples is None,
+        samples=args.samples if args.samples is not None else 32,
+        seed=args.seed,
+        workloads=tuple(args.workload or ("train", "link")),
+    )
+    if args.mutate:
+        from repro.faults.mutations import apply_mutant
+
+        try:
+            mutant = apply_mutant(args.mutate)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        with mutant:
+            report = explore(config)
+    else:
+        report = explore(config)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
 def _cmd_train(args: argparse.Namespace) -> None:
     from repro.core.system import PliniusSystem
     from repro.data import synthetic_mnist, to_data_matrix
@@ -264,6 +299,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="treat warnings as failures (CI mode)",
     )
     lint.set_defaults(func=_cmd_lint)
+
+    crashtest = sub.add_parser(
+        "crashtest",
+        help="deterministic fault injection + crash-schedule exploration",
+    )
+    crashtest.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        metavar="N",
+        help="seeded sample of N schedules (default: exhaustive)",
+    )
+    crashtest.add_argument(
+        "--exhaustive",
+        action="store_true",
+        help="replay every strided schedule (the default mode)",
+    )
+    crashtest.add_argument(
+        "--seed", type=int, default=0, help="sampling seed"
+    )
+    crashtest.add_argument(
+        "--workload",
+        action="append",
+        choices=["train", "link"],
+        default=None,
+        help="restrict to one workload (repeatable; default: both)",
+    )
+    crashtest.add_argument(
+        "--mutate",
+        metavar="NAME",
+        default=None,
+        help="run under a deliberately broken variant (self-validation); "
+        "the run must then FAIL",
+    )
+    crashtest.add_argument(
+        "--list-sites",
+        action="store_true",
+        help="print the fault-point registry and exit",
+    )
+    crashtest.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (json for CI consumers)",
+    )
+    crashtest.set_defaults(func=_cmd_crashtest)
 
     train = sub.add_parser("train", help="train a CNN with mirroring")
     train.add_argument("--iterations", type=int, default=100)

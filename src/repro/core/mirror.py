@@ -68,6 +68,12 @@ MODEL_ROOT = 0
 #: Upper bound on parameter buffers per layer node (Darknet max is 5).
 MAX_BUFFERS = 8
 
+#: Sentinel iteration marking a mirror that was allocated but never
+#: written.  A crash between allocation and the first ``mirror_out``
+#: must not leave a "restorable" mirror whose slots hold unsealed
+#: garbage — restoring one would fail every MAC check on resume.
+UNSEALED_ITERATION = (1 << 64) - 1
+
 _MODEL_HEADER = struct.Struct("<QQQ")  # iteration, num_layers, head
 _LAYER_FIXED = struct.Struct("<QQ")  # next, num_buffers
 _BUFFER_REF = struct.Struct("<QQ")  # sealed_size, offset
@@ -165,6 +171,15 @@ class MirrorModule:
         iteration, _, _ = _MODEL_HEADER.unpack(header)
         return iteration
 
+    def has_snapshot(self) -> bool:
+        """Whether the mirror holds at least one sealed snapshot.
+
+        False between :meth:`alloc_mirror_model` and the first
+        :meth:`mirror_out`: the slots exist but were never written, so
+        there is nothing to restore (and trying would fail every MAC).
+        """
+        return self.exists() and self.stored_iteration() != UNSEALED_ITERATION
+
     def stored_num_layers(self) -> int:
         """Number of layer nodes in the PM mirror's linked list."""
         self._require_model()
@@ -223,7 +238,10 @@ class MirrorModule:
                     head = node
                 prev_node = node
             model = self.heap.pmalloc(tx, _MODEL_HEADER.size)
-            tx.write(model, _MODEL_HEADER.pack(0, len(plan), head))
+            tx.write(
+                model,
+                _MODEL_HEADER.pack(UNSEALED_ITERATION, len(plan), head),
+            )
             tx.write_u64(self.region.root_offset(MODEL_ROOT), model)
 
     def free_mirror_model(self) -> None:
@@ -575,6 +593,10 @@ class MirrorModule:
             raise MirrorError(
                 f"enclave model has {len(plan)} parameterized layers, "
                 f"PM mirror has {self.stored_num_layers()}"
+            )
+        if not self.has_snapshot():
+            raise MirrorError(
+                "mirror allocated but never written: no snapshot to restore"
             )
         crypto = self.profile.crypto
         model = self.region.root(MODEL_ROOT)

@@ -110,7 +110,6 @@ class PmDataModule:
                     int(encrypted),
                 ),
             )
-            tx.write_u64(self.region.root_offset(DATA_ROOT), header)
 
         # Row payloads are bulk data: write them in chunked transactions
         # so the volatile log stays modest.
@@ -130,6 +129,14 @@ class PmDataModule:
                 # repro: noqa[SEC001] -- encrypted=False is the deliberate
                 # plaintext baseline of the Fig. 8 comparison, never the default
                 tx.write(rows_offset + start * row_stored, bytes(payload))
+
+        # Publish the root only after every row is durable: a crash
+        # mid-load must leave ``exists()`` false (the loader retries from
+        # scratch) rather than expose a header whose rows were never
+        # sealed.  The worst a crash costs is one unreferenced heap
+        # allocation, which the crash-schedule explorer tolerates.
+        with self.region.begin_transaction() as tx:
+            tx.write_u64(self.region.root_offset(DATA_ROOT), header)
         return len(data) * row_stored
 
     def fetch_batch(

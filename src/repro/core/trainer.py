@@ -135,7 +135,7 @@ class PliniusTrainer:
     # ------------------------------------------------------------------
     def resume_point(self) -> int:
         """Iteration training would resume from (0 if no mirror)."""
-        if self.crash_resilient and self.mirror.exists():
+        if self.crash_resilient and self.mirror.has_snapshot():
             return self.mirror.stored_iteration()
         return 0
 
@@ -184,7 +184,7 @@ class PliniusTrainer:
         resumed_from = 0
         mirror_timings: List[MirrorTiming] = []
         if self.crash_resilient:
-            if self.mirror.exists() and self.network.iteration == 0:
+            if self.mirror.has_snapshot() and self.network.iteration == 0:
                 # Fresh process over an existing mirror: restore and
                 # resume where training left off.  (A warm model that is
                 # already ahead of the mirror is never rewound.)

@@ -33,6 +33,7 @@ import threading
 from typing import Callable, Optional, Union
 
 from repro.crypto.backend import AeadBackend, default_backend
+from repro.faults import plan as faultplan
 from repro.obs.recorder import NULL_RECORDER
 
 KEY_SIZE = 16  # bytes; "PLINIUS uses a 128 bit key for all operations"
@@ -125,6 +126,9 @@ class EncryptionEngine:
     ) -> bytes:
         """Encrypt ``plaintext``; returns ``ciphertext ‖ IV ‖ MAC``."""
         iv = self.new_iv() if iv is None else iv
+        active = faultplan.ACTIVE
+        if active.enabled:
+            active.mutate("crypto.seal", iv)
         ciphertext, tag = self.backend.encrypt(self.key, iv, bytes(plaintext), aad)
         self._count("seals", "bytes_sealed", len(plaintext))
         return ciphertext + iv + tag
@@ -152,6 +156,9 @@ class EncryptionEngine:
                 f"sealed record needs {sealed_size}"
             )
         iv = self.new_iv() if iv is None else iv
+        active = faultplan.ACTIVE
+        if active.enabled:
+            active.mutate("crypto.seal", iv)
         tag = self.backend.encrypt_into(self.key, iv, plaintext, view, aad)
         view[n : n + IV_SIZE] = iv
         view[n + IV_SIZE : sealed_size] = tag
@@ -166,6 +173,11 @@ class EncryptionEngine:
             raise ValueError(
                 f"sealed buffer too short: {len(sealed)} < {SEAL_OVERHEAD}"
             )
+        active = faultplan.ACTIVE
+        if active.enabled:
+            tampered = active.mutate("crypto.unseal", sealed)
+            if tampered is not None:
+                sealed = tampered
         ciphertext = sealed[:-SEAL_OVERHEAD]
         iv = sealed[-SEAL_OVERHEAD:-MAC_SIZE]
         tag = sealed[-MAC_SIZE:]
@@ -191,6 +203,11 @@ class EncryptionEngine:
             raise ValueError(
                 f"sealed buffer too short: {len(view)} < {SEAL_OVERHEAD}"
             )
+        active = faultplan.ACTIVE
+        if active.enabled:
+            tampered = active.mutate("crypto.unseal", bytes(view))
+            if tampered is not None:
+                view = memoryview(tampered)
         n = len(view) - SEAL_OVERHEAD
         iv = bytes(view[n : n + IV_SIZE])
         tag = bytes(view[n + IV_SIZE :])

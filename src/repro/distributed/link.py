@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.crypto.engine import EncryptionEngine
+from repro.faults import plan as faultplan
 from repro.simtime.clock import SimClock
 
 #: 10 GbE-class interconnect between the secure machines.
@@ -38,6 +39,9 @@ class SecureLink:
 
     def send_array(self, array: np.ndarray) -> bytes:
         """Seal a tensor for the wire; returns the ciphertext message."""
+        active = faultplan.ACTIVE
+        if active.enabled:
+            active.check("link.send")
         header = np.array(array.shape, dtype=np.int64).tobytes()
         payload = (
             len(array.shape).to_bytes(4, "little")
@@ -52,6 +56,9 @@ class SecureLink:
 
     def receive_array(self, message: bytes) -> np.ndarray:
         """Unseal a tensor received from the peer enclave."""
+        active = faultplan.ACTIVE
+        if active.enabled:
+            active.check("link.recv")
         payload = self.engine.unseal(message, aad=b"inter-enclave-tensor")
         ndim = int.from_bytes(payload[:4], "little")
         shape = tuple(

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.mirror import MirrorModule
 from repro.crypto.engine import EncryptionEngine
+from repro.faults import plan as faultplan
 from repro.darknet.network import Network
 from repro.hw.pmem import PersistentMemoryDevice
 from repro.romulus.alloc import PersistentHeap
@@ -86,6 +87,9 @@ class StageWorker:
     # ------------------------------------------------------------------
     def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
         """Run the stage forward; charges compute + paging."""
+        active = faultplan.ACTIVE
+        if active.enabled:
+            active.check("distributed.worker.step")
         self._charge_compute(x.shape[0], fraction=1 / 3)
         self.enclave.touch(self.network.param_bytes)
         return self.network.forward(x, train=train)
@@ -144,6 +148,9 @@ class StageWorker:
     # ------------------------------------------------------------------
     def mirror_out(self, iteration: int) -> None:
         """Persist the stage's encrypted mirror."""
+        active = faultplan.ACTIVE
+        if active.enabled:
+            active.check("distributed.worker.mirror")
         self.mirror.mirror_out(self.network, iteration)
 
     def kill(self) -> None:

@@ -1,0 +1,155 @@
+"""Self-validation mutants: deliberately broken crash-consistency code.
+
+An explorer that never finds anything might be checking nothing.  Each
+mutant below re-introduces a classic persistence bug behind a context
+manager; running the explorer under a mutant (``repro crashtest
+--mutate NAME``) must produce invariant violations, or the explorer
+itself is broken.  ``tests/test_faults_explorer.py`` asserts exactly
+that for every registered mutant.
+
+The mutants (and the invariant expected to catch them):
+
+* ``commit-idle-before-copy`` — commit skips the COPYING advertisement
+  and the main→back twin copy, jumping straight to IDLE.  The durable
+  snapshot goes stale, so the next crash-recovery restores pre-history:
+  committed data vanishes (I6) or twins diverge (I1).
+* ``recovery-skip-restore`` — recovery acknowledges the crash but
+  restores nothing, trusting a possibly half-mutated main (the moral
+  equivalent of skipping the SFENCE ordering in the twin-copy flip).
+  Caught by twin divergence (I1) or MAC failures (I2).
+* ``reuse-iv`` — the engine hands out one constant AES-GCM IV.  Caught
+  at the golden run already by IV-uniqueness (I5).
+* ``no-mac-check`` — integrity failures are swallowed and zero-filled
+  plaintext returned.  Caught by tamper-evidence (I7) and by the loss
+  trajectory diverging once garbage enters training (I3).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Dict, Iterator
+
+from repro.crypto.backend import IntegrityError
+from repro.crypto.engine import IV_SIZE, SEAL_OVERHEAD, EncryptionEngine
+from repro.faults import plan as faultplan
+from repro.romulus.region import RegionState, RomulusRegion
+from repro.romulus.transaction import Transaction
+
+
+@contextlib.contextmanager
+def _commit_idle_before_copy() -> Iterator[None]:
+    original = Transaction.commit
+
+    def broken_commit(self) -> None:
+        active = faultplan.ACTIVE
+        if active.enabled:
+            active.check("romulus.tx.commit")
+        self._check_open()
+        region = self.region
+        if region.flush_instruction.needs_fence:
+            region.fence()
+        # BUG: no COPYING state, no main->back copy — the durable
+        # snapshot silently goes stale.
+        region.set_state(RegionState.IDLE, fence=False)
+        region.device.clock.recorder.count("romulus.commits")
+        self._close()
+
+    Transaction.commit = broken_commit
+    try:
+        yield
+    finally:
+        Transaction.commit = original
+
+
+@contextlib.contextmanager
+def _recovery_skip_restore() -> Iterator[None]:
+    original = RomulusRegion.recover
+
+    def broken_recover(self) -> RegionState:
+        found = self.state
+        recorder = self.device.clock.recorder
+        if recorder.enabled:
+            recorder.count("romulus.recoveries")
+            recorder.instant(
+                "romulus.recover",
+                self.device.clock.now(),
+                category="romulus",
+                args={"found_state": found.name},
+            )
+        # BUG: acknowledge the crash but restore nothing — trust a
+        # possibly half-mutated main twin.
+        if found is not RegionState.IDLE:
+            self.set_state(RegionState.IDLE)
+        self.active_transaction = False
+        return found
+
+    RomulusRegion.recover = broken_recover
+    try:
+        yield
+    finally:
+        RomulusRegion.recover = original
+
+
+@contextlib.contextmanager
+def _reuse_iv() -> Iterator[None]:
+    original = EncryptionEngine.new_iv
+
+    def constant_iv(self) -> bytes:
+        # BUG: every sealed record shares one IV — fatal for GCM.
+        return b"\x42" * IV_SIZE
+
+    EncryptionEngine.new_iv = constant_iv
+    try:
+        yield
+    finally:
+        EncryptionEngine.new_iv = original
+
+
+@contextlib.contextmanager
+def _no_mac_check() -> Iterator[None]:
+    original_unseal = EncryptionEngine.unseal
+    original_unseal_from = EncryptionEngine.unseal_from
+
+    def lax_unseal(self, sealed, aad=b""):
+        try:
+            return original_unseal(self, sealed, aad)
+        except IntegrityError:
+            # BUG: swallow the authentication failure and hand back
+            # unauthenticated (zeroed) plaintext.
+            return b"\x00" * max(0, len(bytes(sealed)) - SEAL_OVERHEAD)
+
+    def lax_unseal_from(self, sealed, out, aad=b""):
+        try:
+            return original_unseal_from(self, sealed, out, aad)
+        except IntegrityError:
+            n = max(0, len(memoryview(sealed)) - SEAL_OVERHEAD)
+            memoryview(out)[:n] = b"\x00" * n
+            return n
+
+    EncryptionEngine.unseal = lax_unseal
+    EncryptionEngine.unseal_from = lax_unseal_from
+    try:
+        yield
+    finally:
+        EncryptionEngine.unseal = original_unseal
+        EncryptionEngine.unseal_from = original_unseal_from
+
+
+#: name -> context-manager factory installing the broken variant.
+MUTANTS: Dict[str, Callable[[], "contextlib.AbstractContextManager"]] = {
+    "commit-idle-before-copy": _commit_idle_before_copy,
+    "recovery-skip-restore": _recovery_skip_restore,
+    "reuse-iv": _reuse_iv,
+    "no-mac-check": _no_mac_check,
+}
+
+
+def apply_mutant(name: str) -> "contextlib.AbstractContextManager":
+    """Context manager installing the named mutant for its duration."""
+    try:
+        factory = MUTANTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mutant {name!r}; choose from {sorted(MUTANTS)}"
+        ) from None
+    return factory()

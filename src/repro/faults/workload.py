@@ -1,0 +1,735 @@
+"""Crash-replayable workloads for the schedule explorer.
+
+A *workload* is a deterministic end-to-end scenario that can be run
+fault-free (the **golden** run, executed under a
+:class:`~repro.faults.plan.CountingPlan` to enumerate every fault-point
+hit) and then replayed under a :class:`~repro.faults.plan.CrashSchedulePlan`
+that injects exactly one fault at a chosen ``(site, hit)`` coordinate.
+After the fault the workload performs whatever recovery the real system
+would (reboot, Romulus recovery, mirror-in, retry) and the replay's
+final state is checked against the golden run's.
+
+Two workloads cover the whole instrumented surface:
+
+* :class:`TrainWorkload` — the single-machine Plinius stack: sealed-key
+  provisioning over SSD + sgx sealing ecalls, Romulus region format/
+  open, encrypted dataset load into PM, and mirrored SGD training.
+  Exercises the ``pm.*``, ``ssd.*``, ``romulus.*``, ``sgx.*`` and
+  ``crypto.*`` sites.
+* :class:`LinkWorkload` — one stage worker training against a secure
+  inter-enclave link, with per-step mirroring and kill/resume recovery.
+  Exercises the ``link.*`` and ``distributed.worker.*`` sites.
+
+Determinism contract: every run builds a fresh machine from fixed seeds,
+so the n-th arrival at a fault point is the same program state in the
+golden run and in every replay.  Anything nondeterministic (wall-clock,
+``os.urandom``, thread scheduling) is excluded by construction — seeded
+:class:`~repro.sgx.rand.SgxRandom` IVs, per-iteration batch RNGs, and
+serial sealing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.mirror import MirrorModule
+from repro.core.models import build_mnist_cnn
+from repro.core.pm_data import PmDataModule
+from repro.core.trainer import PliniusTrainer
+from repro.crypto.backend import IntegrityError
+from repro.crypto.engine import EncryptionEngine
+from repro.darknet.data import DataMatrix
+from repro.data.mnist import synthetic_mnist, to_data_matrix
+from repro.faults.plan import (
+    BaseFaultPlan,
+    CountingPlan,
+    CrashSchedulePlan,
+    FaultSpec,
+    InjectedCrash,
+    InjectedEcallAbort,
+    InjectedLinkDrop,
+    installed,
+)
+from repro.faults.registry import FLIP
+from repro.faults import invariants
+from repro.hw.pmem import PersistentMemoryDevice
+from repro.hw.ssd import BlockDevice
+from repro.obs.recorder import TraceRecorder
+from repro.romulus.alloc import PersistentHeap
+from repro.romulus.region import HEADER_SIZE, MAGIC, RomulusRegion
+from repro.sgx.ecall import EnclaveRuntime
+from repro.sgx.enclave import Enclave
+# repro: noqa[SEC002] -- the fault workloads assemble a full secure
+# machine exactly like the core facade does; they are explorer
+# infrastructure, not trusted code.
+from repro.sgx.rand import SgxRandom
+# repro: noqa[SEC002] -- same rationale: workload assembly, not enclave code.
+from repro.sgx.sealing import SealedBlob, seal_data, unseal_data
+from repro.simtime.clock import SimClock
+from repro.simtime.profiles import get_profile
+
+#: SSD file holding the sealed data-encryption key.
+KEY_FILE = "sealed_key.bin"
+
+#: A replay injects exactly one fault, so legitimate runs need at most
+#: one extra boot (plus one more for a fail-stop integrity rejection).
+MAX_REBOOTS = 4
+
+
+@dataclass
+class GoldenRun:
+    """Everything a replay is compared against."""
+
+    hits: Dict[str, int]
+    losses: Dict[int, float]
+    final_iteration: int
+    stored_iteration: int
+    params_digest: str
+    violations: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ReplayOutcome:
+    """Result of one fault-injected replay (or of the golden run)."""
+
+    spec: Optional[FaultSpec] = None
+    fired: bool = False
+    completed: bool = False
+    reboots: int = 0
+    integrity_rejections: int = 0
+    violations: List[str] = field(default_factory=list)
+    losses: Dict[int, float] = field(default_factory=dict)
+    final_iteration: int = 0
+    stored_iteration: int = 0
+    params_digest: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def params_digest(network) -> str:
+    """Bit-exact digest of every parameter buffer of a network."""
+    h = hashlib.sha256()
+    for _, (_, array) in network.parameter_buffers():
+        h.update(np.ascontiguousarray(array).tobytes())
+    return h.hexdigest()
+
+
+class _TrainMachine:
+    """Durable hardware plus the run-level bookkeeping of one replay."""
+
+    def __init__(self, pm_size: int, server: str, seed: int) -> None:
+        self.profile = get_profile(server)
+        self.clock = SimClock()
+        self.recorder = TraceRecorder()
+        self.clock.recorder = self.recorder
+        self.pm = PersistentMemoryDevice(
+            pm_size,
+            self.clock,
+            self.profile.pm,
+            clflush_cost=self.profile.clflush_cost,
+            clflushopt_cost=self.profile.clflushopt_cost,
+            sfence_cost=self.profile.sfence_cost,
+            store_cost=self.profile.store_cost,
+            load_cost=self.profile.load_cost,
+        )
+        self.ssd = BlockDevice(self.clock, self.profile.ssd)
+        self.rand = SgxRandom(b"faults-train-" + seed.to_bytes(4, "big"))
+        self.device_key = hashlib.sha256(
+            b"faults-platform-" + seed.to_bytes(4, "big")
+        ).digest()[:16]
+        # Observed-committed state, for the I6 durability checks.
+        self.format_completed = False
+        self.data_load_completed = False
+        self.last_committed_mirror = 0
+        self.losses: Dict[int, float] = {}
+        self.final_iteration = 0
+        self.stored_iteration = 0
+        self.params_digest = ""
+
+    def power_fail(self) -> None:
+        self.pm.crash()
+        self.ssd.crash()
+
+
+class _TrackedMirror(MirrorModule):
+    """Mirror that records which iterations were durably committed."""
+
+    machine: Optional[_TrainMachine] = None
+
+    def mirror_out(self, network, iteration):
+        timing = super().mirror_out(network, iteration)
+        # Only reached when the transaction committed: the iteration is
+        # now durable and must survive any later crash (invariant I6).
+        if self.machine is not None:
+            self.machine.last_committed_mirror = iteration
+        return timing
+
+
+class TrainWorkload:
+    """Single-machine Plinius training under fault injection."""
+
+    name = "train"
+
+    def __init__(
+        self,
+        server: str = "emlSGX-PM",
+        iterations: int = 3,
+        rows: int = 48,
+        batch: int = 8,
+        pm_size: int = 1 << 20,
+        seed: int = 1234,
+    ) -> None:
+        self.server = server
+        self.iterations = iterations
+        self.rows = rows
+        self.batch = batch
+        self.pm_size = pm_size
+        self.seed = seed
+        self._golden: Optional[GoldenRun] = None
+        self._data: Optional[DataMatrix] = None
+
+    # ------------------------------------------------------------------
+    def _data_matrix(self) -> DataMatrix:
+        if self._data is None:
+            images, labels, _, _ = synthetic_mnist(
+                n_train=self.rows, n_test=1, seed=self.seed
+            )
+            self._data = to_data_matrix(images, labels)
+        return self._data
+
+    def _network(self):
+        net = build_mnist_cnn(
+            n_conv_layers=1,
+            filters=2,
+            batch=self.batch,
+            learning_rate=0.1,
+            rng=np.random.default_rng(self.seed),
+        )
+        # Optimizer state (momentum velocities) is volatile by design —
+        # the mirror persists only the paper's parameter buffers.  With
+        # momentum off, crash+resume is bit-identical to the golden run,
+        # which is the equivalence invariant I3 checks.
+        net.momentum = 0.0
+        return net
+
+    # ------------------------------------------------------------------
+    def golden(self) -> GoldenRun:
+        """Fault-free run under a counting plan; cached."""
+        if self._golden is None:
+            plan = CountingPlan()
+            outcome = self._run(plan)
+            violations = list(outcome.violations)
+            if not outcome.completed:
+                violations.append("golden run failed to complete")
+            if outcome.reboots:
+                violations.append(
+                    f"golden run rebooted {outcome.reboots} times"
+                )
+            dups = plan.duplicate_ivs()
+            if dups:
+                violations.append(
+                    f"I5: {len(dups)} AES-GCM IVs reused within one boot"
+                )
+            self._golden = GoldenRun(
+                hits=dict(plan.hits),
+                losses=dict(outcome.losses),
+                final_iteration=outcome.final_iteration,
+                stored_iteration=outcome.stored_iteration,
+                params_digest=outcome.params_digest,
+                violations=violations,
+            )
+        return self._golden
+
+    def replay(self, spec: FaultSpec) -> ReplayOutcome:
+        """Replay with one injected fault; check invariants vs golden."""
+        golden = self.golden()
+        plan = CrashSchedulePlan(spec)
+        outcome = self._run(plan)
+        outcome.spec = spec
+        outcome.fired = plan.fired
+        v = outcome.violations
+        if not plan.fired:
+            v.append(
+                f"fault {spec.describe()} never fired (golden saw "
+                f"{golden.hits.get(spec.site, 0)} hits at this site)"
+            )
+        dups = plan.duplicate_ivs()
+        if dups:
+            v.append(f"I5: {len(dups)} AES-GCM IVs reused within one boot")
+        if spec.kind == FLIP and plan.fired:
+            if outcome.integrity_rejections == 0:
+                v.append(
+                    "I7: a delivered bit-flip in a sealed record was "
+                    "accepted without an IntegrityError"
+                )
+        if outcome.completed:
+            for it, loss in outcome.losses.items():
+                if it in golden.losses and golden.losses[it] != loss:
+                    v.append(
+                        f"I3: loss at iteration {it} diverged: golden "
+                        f"{golden.losses[it]!r} vs resumed {loss!r}"
+                    )
+            if outcome.final_iteration != golden.final_iteration:
+                v.append(
+                    f"I3: reached iteration {outcome.final_iteration}, "
+                    f"golden reached {golden.final_iteration}"
+                )
+            if outcome.params_digest != golden.params_digest:
+                v.append(
+                    "I3: final model parameters diverged from the "
+                    "uninterrupted run"
+                )
+            if outcome.stored_iteration != golden.stored_iteration:
+                v.append(
+                    f"I6: final mirror stores iteration "
+                    f"{outcome.stored_iteration}, expected "
+                    f"{golden.stored_iteration}"
+                )
+        elif not v:
+            v.append("run did not complete yet no violation was recorded")
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _run(self, plan: BaseFaultPlan) -> ReplayOutcome:
+        machine = _TrainMachine(self.pm_size, self.server, self.seed)
+        outcome = ReplayOutcome()
+        spec = getattr(plan, "spec", None)
+        with installed(plan):
+            while True:
+                plan.mark_boot()
+                try:
+                    self._boot(machine, outcome.violations)
+                    outcome.completed = True
+                    break
+                except InjectedCrash:
+                    pass  # power failure: fall through to reboot
+                except InjectedEcallAbort:
+                    pass  # failed transition: host treats it as fatal
+                except InjectedLinkDrop:
+                    outcome.violations.append(
+                        "link drop escaped into the train workload"
+                    )
+                    break
+                except IntegrityError as exc:
+                    outcome.integrity_rejections += 1
+                    expected = (
+                        spec is not None
+                        and spec.kind == FLIP
+                        and outcome.integrity_rejections == 1
+                    )
+                    if not expected:
+                        outcome.violations.append(
+                            "I2: sealed data failed its MAC check after "
+                            f"a {spec.kind if spec else 'golden'} fault: "
+                            f"{exc}"
+                        )
+                        break
+                    # A transient flip is fail-stop: crash and reboot.
+                except Exception as exc:  # noqa: BLE001 — I0 catch-all
+                    outcome.violations.append(
+                        f"I0: unexpected {type(exc).__name__} escaped the "
+                        f"workload: {exc}"
+                    )
+                    break
+                plan.disarm()
+                machine.power_fail()
+                outcome.reboots += 1
+                if outcome.reboots > MAX_REBOOTS:
+                    outcome.violations.append(
+                        f"machine failed to recover within {MAX_REBOOTS} "
+                        "reboots"
+                    )
+                    break
+        outcome.losses = dict(machine.losses)
+        outcome.final_iteration = machine.final_iteration
+        outcome.stored_iteration = machine.stored_iteration
+        outcome.params_digest = machine.params_digest
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _boot(self, m: _TrainMachine, violations: List[str]) -> None:
+        """One boot: provision key, attach region, train to target."""
+        enclave = Enclave(m.clock, m.profile.sgx)
+        runtime = EnclaveRuntime(enclave)
+        runtime.register_ecall(
+            "seal_key",
+            lambda key: seal_data(enclave, key, m.device_key, m.rand),
+        )
+        runtime.register_ecall(
+            "unseal_key",
+            lambda blob: unseal_data(enclave, blob, m.device_key),
+        )
+        runtime.register_ocall(
+            "persist_key",
+            lambda payload: (
+                m.ssd.write(KEY_FILE, 0, payload),
+                m.ssd.fsync(KEY_FILE),
+            ),
+        )
+
+        # Key provisioning: unseal from SSD if durable, else generate.
+        # A crash between write and fsync leaves a truncated file, which
+        # the size check treats as absent (regenerate and re-persist).
+        min_size = 32 + 16 + 28  # measurement + sealed 16-byte key
+        if m.ssd.exists(KEY_FILE) and m.ssd.file_size(KEY_FILE) >= min_size:
+            payload = m.ssd.read_all(KEY_FILE)
+            blob = SealedBlob(measurement=payload[:32], sealed=payload[32:])
+            key = runtime.ecall("unseal_key", blob)
+        else:
+            key = EncryptionEngine.generate_key(m.rand)
+            blob = runtime.ecall("seal_key", key)
+            runtime.ocall("persist_key", blob.measurement + blob.sealed)
+        engine = EncryptionEngine(key, rand=m.rand, observer=m.recorder)
+
+        # Region attach: open-and-recover when the magic is durable,
+        # otherwise (re)format.  Formatting is only legal if no prior
+        # format completed (I1: a completed format never loses its magic).
+        main_size = (m.pm.size - HEADER_SIZE) // 2
+        before = m.recorder.counters.get("romulus.recoveries")
+        if m.pm.read(0, 8) == MAGIC:
+            region = RomulusRegion.open(m.pm)
+            err = invariants.recovery_count_delta(
+                before, m.recorder.counters.get("romulus.recoveries")
+            )
+            if err:
+                violations.append("I4: " + err)
+            err = invariants.region_idle_and_twinned(region)
+            if err:
+                violations.append("I1: " + err)
+        else:
+            if m.format_completed:
+                violations.append(
+                    "I1: a formatted region lost its magic after a crash"
+                )
+            region = RomulusRegion(m.pm, main_size).format()
+            m.format_completed = True
+
+        heap = PersistentHeap(region)
+        pm_data = PmDataModule(region, heap, engine, enclave, m.profile)
+        if pm_data.exists():
+            pass  # dataset survived the crash, as it must
+        else:
+            if m.data_load_completed:
+                violations.append(
+                    "I6: the loaded training dataset vanished after a crash"
+                )
+            pm_data.load(self._data_matrix(), encrypted=True)
+            m.data_load_completed = True
+
+        mirror = _TrackedMirror(region, heap, engine, enclave, m.profile)
+        mirror.machine = m
+        if mirror.has_snapshot():
+            stored = mirror.stored_iteration()
+            if stored < m.last_committed_mirror:
+                violations.append(
+                    f"I6: mirror regressed to iteration {stored} after a "
+                    f"crash (iteration {m.last_committed_mirror} had "
+                    "committed)"
+                )
+        elif m.last_committed_mirror > 0:
+            violations.append(
+                "I6: a committed mirror vanished after a crash"
+            )
+
+        network = self._network()
+        trainer = PliniusTrainer(
+            network,
+            mirror,
+            pm_data,
+            enclave,
+            m.profile,
+            m.clock,
+            input_shape=(1, 28, 28),
+            mirror_every=1,
+            batch_seed=2 * self.seed + 1,
+        )
+        result = trainer.train(self.iterations)
+        for it, loss in zip(result.log.iterations, result.log.losses):
+            m.losses[it] = loss
+        m.final_iteration = result.final_iteration
+        m.stored_iteration = mirror.stored_iteration()
+        m.params_digest = params_digest(network)
+
+
+class _LinkMachine:
+    """One stage worker plus its secure link (built fault-free)."""
+
+    def __init__(self, batch: int, seed: int, server: str):
+        from repro.distributed.link import SecureLink
+        from repro.distributed.worker import StageWorker
+
+        profile = get_profile(server)
+        self.clock = SimClock()
+        self.recorder = TraceRecorder()
+        self.clock.recorder = self.recorder
+        job_key = hashlib.sha256(
+            b"faults-job-" + seed.to_bytes(4, "big")
+        ).digest()[:16]
+        def builder():
+            net = build_mnist_cnn(
+                n_conv_layers=1,
+                filters=2,
+                batch=batch,
+                learning_rate=0.1,
+                rng=np.random.default_rng(seed),
+            )
+            # Momentum off for bit-identical kill/resume (see
+            # TrainWorkload._network).
+            net.momentum = 0.0
+            return net
+        self.worker = StageWorker(
+            "w0", profile, builder, job_key, clock=self.clock, seed=seed
+        )
+        # A valid mirror exists before any fault can fire, so resume is
+        # always well-defined.
+        self.worker.mirror_out(0)
+        self.link = SecureLink(self.worker.engine, self.clock)
+        self.committed = 0
+        self.integrity_rejections = 0
+        self.losses: Dict[int, float] = {}
+
+
+class LinkWorkload:
+    """Distributed stage worker + secure link under fault injection.
+
+    The fault plan is armed only around the steady-state step loop; the
+    worker is constructed fault-free so golden hits and replay hits
+    line up from the same starting state.  A crash kills just this
+    worker (enclave destroyed, PM power-failed); recovery is
+    ``kill()``/``resume()`` and the step loop re-runs from the mirrored
+    iteration.  Link faults (drops, flips) are retried a bounded number
+    of times, modelling a reliable-transport layer over a lossy wire.
+    """
+
+    name = "link"
+
+    MAX_SEND_ATTEMPTS = 4
+
+    def __init__(
+        self,
+        server: str = "emlSGX-PM",
+        steps: int = 3,
+        batch: int = 4,
+        seed: int = 99,
+    ) -> None:
+        self.server = server
+        self.steps = steps
+        self.batch = batch
+        self.seed = seed
+        self._golden: Optional[GoldenRun] = None
+
+    # ------------------------------------------------------------------
+    def _input(self, step: int) -> np.ndarray:
+        rng = np.random.default_rng((self.seed, step))
+        return rng.random((self.batch, 1, 28, 28), dtype=np.float32)
+
+    def _labels(self, step: int) -> np.ndarray:
+        rng = np.random.default_rng((self.seed, step, 1))
+        y = np.zeros((self.batch, 10), dtype=np.float32)
+        y[np.arange(self.batch), rng.integers(0, 10, self.batch)] = 1.0
+        return y
+
+    # ------------------------------------------------------------------
+    def golden(self) -> GoldenRun:
+        if self._golden is None:
+            plan = CountingPlan()
+            outcome = self._run(plan)
+            violations = list(outcome.violations)
+            if not outcome.completed:
+                violations.append("golden run failed to complete")
+            dups = plan.duplicate_ivs()
+            if dups:
+                violations.append(
+                    f"I5: {len(dups)} AES-GCM IVs reused within one boot"
+                )
+            self._golden = GoldenRun(
+                hits=dict(plan.hits),
+                losses=dict(outcome.losses),
+                final_iteration=outcome.final_iteration,
+                stored_iteration=outcome.stored_iteration,
+                params_digest=outcome.params_digest,
+                violations=violations,
+            )
+        return self._golden
+
+    def replay(self, spec: FaultSpec) -> ReplayOutcome:
+        golden = self.golden()
+        plan = CrashSchedulePlan(spec)
+        outcome = self._run(plan)
+        outcome.spec = spec
+        outcome.fired = plan.fired
+        v = outcome.violations
+        if not plan.fired:
+            v.append(
+                f"fault {spec.describe()} never fired (golden saw "
+                f"{golden.hits.get(spec.site, 0)} hits at this site)"
+            )
+        if spec.kind == FLIP and plan.fired:
+            if outcome.integrity_rejections == 0:
+                v.append(
+                    "I7: a delivered bit-flip on the wire was accepted "
+                    "without an IntegrityError"
+                )
+        if outcome.completed:
+            for step, loss in golden.losses.items():
+                if outcome.losses.get(step) != loss:
+                    v.append(
+                        f"I3: loss at step {step} diverged: golden "
+                        f"{loss!r} vs {outcome.losses.get(step)!r}"
+                    )
+            if outcome.params_digest != golden.params_digest:
+                v.append(
+                    "I3: final stage parameters diverged from the "
+                    "uninterrupted run"
+                )
+            if outcome.stored_iteration != golden.stored_iteration:
+                v.append(
+                    f"I6: final mirror stores iteration "
+                    f"{outcome.stored_iteration}, expected "
+                    f"{golden.stored_iteration}"
+                )
+        elif not v:
+            v.append("run did not complete yet no violation was recorded")
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _transfer(self, m: _LinkMachine, out, violations) -> Optional[bytes]:
+        """Send + receive with bounded retries over a lossy wire."""
+        for _ in range(self.MAX_SEND_ATTEMPTS):
+            try:
+                message = m.link.send_array(out)
+            except InjectedLinkDrop:
+                continue
+            try:
+                received = m.link.receive_array(message)
+            except InjectedLinkDrop:
+                continue
+            except IntegrityError:
+                m.integrity_rejections += 1
+                if m.integrity_rejections > 1:
+                    violations.append(
+                        "I7: a transient wire flip caused repeated "
+                        "integrity failures"
+                    )
+                    return None
+                continue
+            if not np.array_equal(received, out):
+                violations.append(
+                    "I2: the link delivered a tensor different from the "
+                    "one sent"
+                )
+            return received
+        violations.append(
+            f"link transfer failed after {self.MAX_SEND_ATTEMPTS} attempts"
+        )
+        return None
+
+    def _run(self, plan: BaseFaultPlan) -> ReplayOutcome:
+        machine = _LinkMachine(self.batch, self.seed, self.server)
+        outcome = ReplayOutcome()
+        v = outcome.violations
+        spec = getattr(plan, "spec", None)
+        step = 0
+        with installed(plan):
+            plan.mark_boot()
+            while step < self.steps and not v:
+                try:
+                    x = self._input(step)
+                    out = machine.worker.forward(x, train=True)
+                    loss, _ = machine.worker.loss_and_backward(
+                        self._labels(step)
+                    )
+                    machine.worker.update()
+                    # Record the loss before the commit: if the crash
+                    # lands mid-transfer the worker resumes *past* this
+                    # step and never recomputes it.
+                    machine.losses[step] = loss
+                    machine.worker.mirror_out(step + 1)
+                    machine.committed = step + 1
+                    if self._transfer(machine, out, v) is None:
+                        break
+                    step += 1
+                except InjectedCrash:
+                    plan.disarm()
+                    try:
+                        machine.worker.kill()
+                        resumed = machine.worker.resume()
+                    except Exception as exc:  # noqa: BLE001
+                        v.append(
+                            "I0: recovery after a crash failed with "
+                            f"{type(exc).__name__}: {exc}"
+                        )
+                        break
+                    outcome.reboots += 1
+                    if resumed < machine.committed:
+                        v.append(
+                            f"I6: worker resumed at iteration {resumed} "
+                            f"but iteration {machine.committed} had "
+                            "committed"
+                        )
+                        break
+                    step = resumed
+                    machine.committed = resumed
+                except InjectedLinkDrop:
+                    v.append(
+                        "link drop escaped the transfer retry loop"
+                    )
+                    break
+                except IntegrityError as exc:
+                    outcome.integrity_rejections += 1
+                    expected = (
+                        spec is not None
+                        and spec.kind == FLIP
+                        and outcome.integrity_rejections == 1
+                    )
+                    if not expected:
+                        v.append(
+                            f"I2: sealed stage state failed its MAC "
+                            f"check: {exc}"
+                        )
+                        break
+                    # fail-stop: crash the worker and resume
+                    plan.disarm()
+                    try:
+                        machine.worker.kill()
+                        step = machine.worker.resume()
+                    except Exception as exc:  # noqa: BLE001
+                        v.append(
+                            "I0: recovery after a fail-stop failed with "
+                            f"{type(exc).__name__}: {exc}"
+                        )
+                        break
+                    machine.committed = step
+                    outcome.reboots += 1
+                except Exception as exc:  # noqa: BLE001 — I0 catch-all
+                    v.append(
+                        f"I0: unexpected {type(exc).__name__} escaped the "
+                        f"workload: {exc}"
+                    )
+                    break
+            else:
+                outcome.completed = not v
+        outcome.integrity_rejections += machine.integrity_rejections
+        outcome.losses = dict(machine.losses)
+        outcome.final_iteration = step
+        if outcome.completed:
+            outcome.stored_iteration = machine.worker.mirror.stored_iteration()
+            outcome.params_digest = params_digest(machine.worker.network)
+        return outcome
+
+
+def make_workload(name: str, **kwargs):
+    """Workload factory used by the explorer and the CLI."""
+    table = {"train": TrainWorkload, "link": LinkWorkload}
+    try:
+        return table[name](**kwargs)
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from {sorted(table)}"
+        ) from None

@@ -22,9 +22,17 @@ from __future__ import annotations
 import enum
 from typing import Callable, Optional
 
+from repro.faults import plan as faultplan
 from repro.hw.intervals import IntervalSet
 from repro.simtime.clock import SimClock
 from repro.simtime.costs import CACHE_LINE, DeviceCostModel
+
+#: fault_hook op name -> fault-point registry site.
+_FAULT_SITES = {
+    "store": "pm.store",
+    "flush": "pm.flush",
+    "fence": "pm.fence",
+}
 
 
 class FlushInstruction(enum.Enum):
@@ -109,9 +117,16 @@ class PersistentMemoryDevice:
         #: property tests raise from here to crash mid-protocol.
         self.fault_hook: Optional[Callable[[str], None]] = None
 
-    def _fault(self, op: str) -> None:
+    def _fault(self, op: str):
         if self.fault_hook is not None:
             self.fault_hook(op)
+        active = faultplan.ACTIVE
+        if active.enabled:
+            # repro: noqa[FLT001] -- _FAULT_SITES is a static table of
+            # registered literals; tests/test_faults.py pins its values
+            # against the registry.
+            return active.check(_FAULT_SITES[op])
+        return None
 
     # ------------------------------------------------------------------
     # Access path
@@ -247,7 +262,7 @@ class PersistentMemoryDevice:
         (as on real hardware for CLFLUSH/CLFLUSHOPT, which evict
         unconditionally).
         """
-        self._fault("flush")
+        torn = self._fault("flush")
         self._check_range(addr, length)
         if length == 0:
             return 0
@@ -258,6 +273,8 @@ class PersistentMemoryDevice:
 
         dirty_bytes = self._dirty.overlap_total(line_start, line_end)
         data_view = memoryview(self._data)
+        if torn is not None:
+            self._torn_flush(line_start, line_end, dirty_bytes, torn)
         for a, b in self._dirty.overlap(line_start, line_end):
             self._durable[a:b] = data_view[a:b]
         self._dirty.remove(line_start, line_end)
@@ -279,6 +296,30 @@ class PersistentMemoryDevice:
         )
         dirty_lines = -(-dirty_bytes // CACHE_LINE) if dirty_bytes else 0
         return dirty_lines
+
+    def _torn_flush(self, line_start: int, line_end: int,
+                    dirty_bytes: int, torn) -> None:
+        """Persist only a prefix of the dirty lines, then power-fail.
+
+        Tearing is cache-line granular: a line either reaches the media
+        whole or not at all (real ADR platforms guarantee 8-byte store
+        atomicity; modelling sub-line tears would be unsound, since the
+        protocol's u64 header words never straddle a line).  Always
+        raises via ``torn.crash()``.
+        """
+        budget = int(dirty_bytes * torn.fraction)
+        persisted = 0
+        data_view = memoryview(self._data)
+        for a, b in self._dirty.overlap(line_start, line_end):
+            pos = a
+            while pos < b:
+                nxt = min(b, (pos // CACHE_LINE + 1) * CACHE_LINE)
+                if persisted + (nxt - pos) > budget:
+                    torn.crash()
+                self._durable[pos:nxt] = data_view[pos:nxt]
+                persisted += nxt - pos
+                pos = nxt
+        torn.crash()
 
     def fence(self) -> None:
         """SFENCE: order preceding flushes (cost only; flushes here are

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro.faults import plan as faultplan
 from repro.hw.intervals import IntervalSet
 from repro.simtime.clock import SimClock
 from repro.simtime.costs import DeviceCostModel
@@ -67,6 +68,9 @@ class BlockDevice:
 
     def write(self, name: str, offset: int, data: bytes) -> None:
         """Buffered write: lands in the page cache, volatile until fsync."""
+        active = faultplan.ACTIVE
+        if active.enabled:
+            active.check("ssd.write")
         if offset < 0:
             raise ValueError(f"negative file offset: {offset}")
         f = self._file(name)
@@ -84,6 +88,9 @@ class BlockDevice:
 
     def fsync(self, name: str) -> int:
         """Force pending bytes of ``name`` to the device; return the count."""
+        active = faultplan.ACTIVE
+        if active.enabled:
+            active.check("ssd.fsync")
         f = self._file(name)
         pending = f.dirty.total
         if len(f.durable) < len(f.data):

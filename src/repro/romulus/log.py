@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Iterator, Tuple
 
+from repro.faults import plan as faultplan
 from repro.hw.intervals import IntervalSet
 
 
@@ -28,6 +29,9 @@ class VolatileLog:
 
     def record(self, offset: int, length: int) -> None:
         """Log a store to ``[offset, offset + length)``."""
+        active = faultplan.ACTIVE
+        if active.enabled:
+            active.check("romulus.log.record")
         if length <= 0:
             return
         self._ranges.add(offset, offset + length)

@@ -129,9 +129,16 @@ class RomulusRegion:
         self.device.write(
             self.back_base, self.device.read(self.main_base, len(meta))
         )
-        self.device.flush(self.base, HEADER_SIZE, self.flush_instruction)
+        # Persist the twins first and the magic-bearing header last: once
+        # the magic is durable, everything it promises (state, main_size,
+        # allocator meta, twin snapshot) is durable too.  A crash
+        # mid-format therefore leaves either no region (reformat on next
+        # boot) or a complete one — never a magic pointing at garbage.
         self.device.flush(self.main_base, len(meta), self.flush_instruction)
         self.device.flush(self.back_base, len(meta), self.flush_instruction)
+        if self.flush_instruction.needs_fence:
+            self.fence()
+        self.device.flush(self.base, HEADER_SIZE, self.flush_instruction)
         if self.flush_instruction.needs_fence:
             self.fence()
         return self

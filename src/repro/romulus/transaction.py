@@ -28,6 +28,7 @@ from __future__ import annotations
 from types import TracebackType
 from typing import Optional, Type
 
+from repro.faults import plan as faultplan
 from repro.romulus.log import VolatileLog
 from repro.romulus.region import RegionState, RomulusRegion
 
@@ -57,6 +58,9 @@ class Transaction:
     # ------------------------------------------------------------------
     def write(self, offset: int, data: bytes) -> None:
         """Interposed store: write main, flush the lines, log the range."""
+        active = faultplan.ACTIVE
+        if active.enabled:
+            active.check("romulus.tx.write")
         self._check_open()
         self.region._check_offset(offset, len(data))
         if not data:
@@ -108,6 +112,9 @@ class Transaction:
     # ------------------------------------------------------------------
     def commit(self) -> None:
         """Make the transaction durable (fences 2-4 of the protocol)."""
+        active = faultplan.ACTIVE
+        if active.enabled:
+            active.check("romulus.tx.commit")
         self._check_open()
         region = self.region
         device = region.device
@@ -128,6 +135,8 @@ class Transaction:
         # Fence 4: order the back flushes before IDLE can become durable.
         if instr.needs_fence:
             region.fence()
+        if active.enabled:
+            active.check("romulus.tx.commit.pre_idle")
         # IDLE flushed but unfenced: crash here recovers as COPYING,
         # which re-copies a consistent main — safe and idempotent.
         region.set_state(RegionState.IDLE, fence=False)
@@ -136,6 +145,9 @@ class Transaction:
 
     def abort(self) -> None:
         """Roll main back from the back twin for every logged range."""
+        active = faultplan.ACTIVE
+        if active.enabled:
+            active.check("romulus.tx.abort")
         self._check_open()
         region = self.region
         device = region.device

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict
 
+from repro.faults import plan as faultplan
 from repro.sgx.enclave import Enclave
 
 
@@ -40,6 +41,9 @@ class EnclaveRuntime:
 
     def ecall(self, name: str, *args: Any, **kwargs: Any) -> Any:
         """Enter the enclave: run the trusted function ``name``."""
+        active = faultplan.ACTIVE
+        if active.enabled:
+            active.check("sgx.ecall")
         try:
             fn = self._ecalls[name]
         except KeyError:
@@ -51,6 +55,9 @@ class EnclaveRuntime:
 
     def ocall(self, name: str, *args: Any, **kwargs: Any) -> Any:
         """Exit the enclave: run the untrusted helper ``name``."""
+        active = faultplan.ACTIVE
+        if active.enabled:
+            active.check("sgx.ocall")
         try:
             fn = self._ocalls[name]
         except KeyError:

@@ -21,6 +21,7 @@ from __future__ import annotations
 import hashlib
 from typing import Dict
 
+from repro.faults import plan as faultplan
 from repro.simtime.clock import SimClock
 from repro.simtime.costs import SgxCostModel
 
@@ -96,6 +97,9 @@ class Enclave:
         Re-using a tag resizes the allocation (the mirroring module
         reuses staging buffers across iterations).
         """
+        active = faultplan.ACTIVE
+        if active.enabled:
+            active.check("sgx.enclave.malloc")
         self._check_alive()
         if nbytes < 0:
             raise ValueError(f"negative allocation: {nbytes}")
@@ -121,6 +125,9 @@ class Enclave:
         into the operation being performed).  Beyond it, the SGX driver
         swaps pages and the cost model charges per swapped page.
         """
+        active = faultplan.ACTIVE
+        if active.enabled:
+            active.check("sgx.enclave.touch")
         self._check_alive()
         paging = self.sgx.paging_time(self.working_set, nbytes)
         if paging > 0:

@@ -6,11 +6,50 @@ import numpy as np
 import pytest
 
 from repro.core.system import PliniusSystem
+from repro.crypto import backend as crypto_backend
 from repro.darknet.data import DataMatrix
 from repro.data import synthetic_mnist, to_data_matrix
+from repro.faults import plan as faultplan
 from repro.hw.pmem import PersistentMemoryDevice
+from repro.obs.recorder import get_default_recorder, install_default_recorder
 from repro.simtime.clock import SimClock
 from repro.simtime.profiles import EMLSGX_PM, SGX_EMLPM
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_process_defaults():
+    """Fail any test that leaks a process-default override.
+
+    Three module globals act as process defaults: the obs recorder, the
+    crypto AEAD backend, and the fault plan.  A test that installs one
+    and forgets to restore it silently changes the behaviour of every
+    test that runs after it — the classic order-dependent flake.  This
+    fixture snapshots all three, restores them unconditionally, and
+    fails the offending test by name so the leak is fixed at the source.
+    """
+    recorder_before = get_default_recorder()
+    # Force lazy resolution first: merely *using* crypto caches the
+    # resolved backend, which is not a leak.  Resolution is compared by
+    # type, not identity: ``reset_default_backend()`` (the sanctioned
+    # restore) makes the next use build a fresh, equivalent instance.
+    backend_before = crypto_backend.default_backend()
+    plan_before = faultplan.get_active_plan()
+    yield
+    leaked = []
+    if get_default_recorder() is not recorder_before:
+        leaked.append("obs default recorder (install_default_recorder)")
+        install_default_recorder(recorder_before)
+    if type(crypto_backend.default_backend()) is not type(backend_before):
+        leaked.append("crypto default backend (set_default_backend)")
+        crypto_backend.set_default_backend(backend_before)
+    if faultplan.get_active_plan() is not plan_before:
+        leaked.append("fault plan (faults.plan.install_plan)")
+        faultplan.install_plan(plan_before)
+    if leaked:
+        # Restored above, so one leaky test cannot poison the rest.
+        pytest.fail(
+            "test leaked process-default override(s): " + "; ".join(leaked)
+        )
 
 
 @pytest.fixture

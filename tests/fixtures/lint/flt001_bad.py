@@ -1,0 +1,14 @@
+# repro: lint-module[repro.hw.pmem]
+"""FLT001 fixture: instrumented sites outside the registry pattern."""
+
+from repro.faults import plan as faultplan
+
+
+def flush_lines(device, site_suffix):
+    active = faultplan.ACTIVE
+    if active.enabled:
+        active.check("pm.flash")  # typo: the registered site is pm.flush
+    if active.enabled:
+        # dynamically built name — the registry cannot vouch for it
+        active.check("pm." + site_suffix)
+    faultplan.ACTIVE.mutate("crypto.unsael", b"payload")  # typo again

@@ -1,0 +1,13 @@
+# repro: lint-module[repro.hw.pmem]
+"""FLT001 fixture: the compliant instrumentation idiom."""
+
+from repro.faults import plan as faultplan
+
+
+def flush_lines(device):
+    active = faultplan.ACTIVE
+    if active.enabled:
+        active.check("pm.flush")
+    faultplan.ACTIVE.mutate("crypto.unseal", b"payload")
+    # unrelated .check() receivers are not the fault plan
+    device.check("pm.flash")

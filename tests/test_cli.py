@@ -81,6 +81,78 @@ class TestCommands:
         assert "sgx-emlPM" in capsys.readouterr().out
 
 
+class TestCrashtest:
+    def test_sampled_run_reports_clean(self, capsys):
+        rc = main(
+            ["crashtest", "--samples", "6", "--seed", "1",
+             "--workload", "train"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "crash-schedule exploration" in out
+        assert "all hold" in out
+
+    def test_json_format_is_machine_readable(self, capsys):
+        rc = main(
+            ["crashtest", "--samples", "6", "--seed", "1",
+             "--workload", "train", "--format", "json"]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["mode"] == "sampled"
+        assert doc["points_explored"] >= 6
+        assert doc["violations"] == []
+        names = {w["name"] for w in doc["workloads"]}
+        assert names == {"train"}
+
+    def test_mutant_run_fails_with_exit_one(self, capsys):
+        # Self-validation: a deliberately broken variant must fail.
+        rc = main(
+            ["crashtest", "--samples", "6", "--seed", "1",
+             "--workload", "train", "--mutate", "reuse-iv",
+             "--format", "json"]
+        )
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False
+        assert doc["violations"]
+
+    def test_unknown_mutant_exits_two(self, capsys):
+        rc = main(["crashtest", "--mutate", "nope"])
+        assert rc == 2
+        assert "unknown mutant" in capsys.readouterr().err
+
+    def test_list_sites_prints_registry(self, capsys):
+        assert main(["crashtest", "--list-sites"]) == 0
+        out = capsys.readouterr().out
+        assert "pm.store" in out
+        assert "crypto.unseal" in out
+        assert "crash/flip" in out
+
+    def test_workload_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["crashtest", "--workload", "bogus"])
+
+
+class TestFormatJson:
+    def test_tcb_json(self, capsys):
+        assert main(["tcb", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc  # structure asserted in the tcb unit tests
+
+    def test_tcb_trace_plus_json(self, tmp_path, capsys):
+        """--trace appends its summary line after the JSON document."""
+        path = tmp_path / "tcb.json"
+        assert main(["tcb", "--format", "json", "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        body, _, trace_line = out.rpartition("trace: ")
+        doc = json.loads(body)
+        assert doc
+        assert str(path) in trace_line
+        assert path.exists()
+
+
 class TestTraceFlag:
     @staticmethod
     def _load_trace(path):

@@ -51,7 +51,10 @@ class TestAllocation:
         assert mirror.exists()
         # Parameterized layers: 2 conv + 1 connected (pools/softmax none).
         assert mirror.stored_num_layers() == 3
-        assert mirror.stored_iteration() == 0
+        # Allocated but never written: no snapshot to restore yet.
+        assert not mirror.has_snapshot()
+        with pytest.raises(MirrorError, match="never written"):
+            mirror.mirror_in(net)
 
     def test_double_alloc_rejected(self):
         _, _, mirror = make_mirror()

@@ -1,0 +1,127 @@
+"""The crash-schedule explorer: enumeration, replay, mutants.
+
+The unmarked tests keep tier-1 honest with small sampled explorations;
+the ``crashtest``-marked tests run the full acceptance matrix (the
+exhaustive schedule space plus every registered mutant) and are executed
+by the dedicated CI job / ``pytest -m crashtest``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.explorer import (
+    ExploreConfig,
+    enumerate_points,
+    explore,
+    _sample_points,
+    _strided_hits,
+)
+from repro.faults.mutations import MUTANTS, apply_mutant
+from repro.faults.plan import FaultSpec
+from repro.faults.registry import CRASH
+from repro.faults.workload import make_workload
+
+
+class TestEnumeration:
+    def test_strided_hits_keep_boundaries(self):
+        assert _strided_hits(3, 6) == [1, 2, 3]
+        picks = _strided_hits(120, 6)
+        assert len(picks) <= 6
+        assert picks[0] == 1 and picks[-1] == 120
+        assert _strided_hits(0, 6) == []
+
+    def test_enumerate_covers_every_hit_site(self):
+        golden = make_workload("train").golden()
+        assert not golden.violations
+        specs = enumerate_points(golden, ExploreConfig())
+        sites = {s.site for s in specs}
+        assert sites == set(golden.hits)
+        # The acceptance floor: well over 50 distinct crash schedules.
+        crash = [s for s in specs if s.kind == CRASH]
+        assert len({(s.site, s.hit) for s in crash}) >= 50
+
+    def test_sampling_is_stratified_and_seeded(self):
+        golden = make_workload("train").golden()
+        config = ExploreConfig(exhaustive=False, samples=24, seed=5)
+        sample = _sample_points(enumerate_points(golden, config), config)
+        strata = {(s.site, s.kind) for s in sample}
+        full = {
+            (s.site, s.kind)
+            for s in enumerate_points(golden, config)
+        }
+        assert strata == full  # every (site, kind) represented
+        again = _sample_points(enumerate_points(golden, config), config)
+        assert sample == again  # same seed, same sample
+
+
+class TestReplaySmoke:
+    def test_single_crash_replay_recovers_clean(self):
+        workload = make_workload("train")
+        outcome = workload.replay(FaultSpec("romulus.tx.write", 5))
+        assert outcome.fired
+        assert outcome.ok, outcome.violations
+
+    def test_link_drop_is_retried(self):
+        workload = make_workload("link")
+        outcome = workload.replay(FaultSpec("link.send", 2, "drop"))
+        assert outcome.fired
+        assert outcome.ok, outcome.violations
+
+    def test_unfired_spec_is_a_violation(self):
+        workload = make_workload("train")
+        hits = workload.golden().hits["pm.store"]
+        outcome = workload.replay(FaultSpec("pm.store", hits + 1000))
+        assert not outcome.fired
+        assert not outcome.ok
+
+
+class TestSampledExploration:
+    def test_sampled_exploration_holds_all_invariants(self):
+        report = explore(
+            ExploreConfig(exhaustive=False, samples=12, seed=1,
+                          workloads=("train",))
+        )
+        assert report.ok, report.render_text()
+        assert report.points_explored >= 12
+        assert "all hold" in report.render_text()
+        data = report.to_dict()
+        assert data["ok"] is True
+        assert data["mode"] == "sampled"
+
+    def test_explorer_detects_a_broken_recovery(self):
+        # Self-validation: under a deliberately broken variant the same
+        # exploration must report violations.
+        with apply_mutant("recovery-skip-restore"):
+            report = explore(
+                ExploreConfig(exhaustive=False, samples=12, seed=1,
+                              workloads=("train",))
+            )
+        assert not report.ok
+        assert report.violations
+        assert "VIOLATIONS" in report.render_text()
+
+    def test_unknown_mutant_rejected(self):
+        with pytest.raises(ValueError, match="unknown mutant"):
+            apply_mutant("definitely-not-a-mutant")
+
+
+@pytest.mark.crashtest
+class TestExhaustiveAcceptance:
+    """The ISSUE acceptance matrix — run via ``pytest -m crashtest``."""
+
+    def test_exhaustive_exploration_is_clean(self):
+        report = explore(ExploreConfig(exhaustive=True, seed=0))
+        assert report.ok, report.render_text()
+        assert report.crash_points >= 50
+        assert {w.name for w in report.workloads} == {"train", "link"}
+
+    @pytest.mark.parametrize("mutant", sorted(MUTANTS))
+    def test_every_mutant_is_detected(self, mutant):
+        with apply_mutant(mutant):
+            report = explore(
+                ExploreConfig(exhaustive=False, samples=24, seed=1)
+            )
+        assert not report.ok, (
+            f"mutant {mutant!r} survived exploration undetected"
+        )

@@ -54,11 +54,23 @@ def rule_ids(path: Path):
         ("SEC002", "sec002_bad.py", "sec002_good.py"),
         ("DET001", "det001_bad.py", "det001_good.py"),
         ("LCK001", "lck001_bad.py", "lck001_good.py"),
+        ("FLT001", "flt001_bad.py", "flt001_good.py"),
     ],
 )
 def test_rule_fires_on_bad_and_not_on_good(rule, bad, good):
     assert rule in rule_ids(FIXTURES / bad)
     assert rule not in rule_ids(FIXTURES / good)
+
+
+def test_flt001_counts_typos_and_dynamic_names():
+    ids = rule_ids(FIXTURES / "flt001_bad.py")
+    assert ids.count("FLT001") == 3  # two typos + one dynamic site name
+
+
+def test_flt001_exempts_the_fault_machinery_itself():
+    # plan.py forwards validated site names through variables by design.
+    src = Path(__file__).parent.parent / "src" / "repro" / "faults" / "plan.py"
+    assert "FLT001" not in rule_ids(src)
 
 
 def test_pm001_counts_every_raw_touch():
