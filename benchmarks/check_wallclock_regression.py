@@ -127,6 +127,47 @@ def check(baseline: dict, report: dict, tolerance: float) -> list:
     return failures
 
 
+def check_serving(report: dict) -> list:
+    """Validate a ``serve-bench`` JSON report against its floors.
+
+    Serving numbers are pure simulated time, so unlike the wall-clock
+    sections they are host-independent: the floors are absolute, no
+    committed baseline needed.
+    """
+    failures = []
+    if report.get("schema") != "plinius-serving-load/1":
+        failures.append(
+            f"unexpected serving report schema {report.get('schema')!r}"
+        )
+        return failures
+    criteria = report.get("criteria", {})
+    for got_key, target_key in (
+        ("batch_speedup", "batch_speedup_target"),
+        ("replica_scaling", "replica_scaling_target"),
+    ):
+        got, want = criteria.get(got_key), criteria.get(target_key)
+        if got is None or want is None:
+            failures.append(f"serving criteria missing {got_key}")
+        elif got < want:
+            failures.append(
+                f"serving.{got_key}: {got:.3f} < floor {want:.3f}"
+            )
+    n_requests = report.get("n_requests")
+    for config in report.get("configs", []):
+        answered = config.get("completed", 0) + config.get("rejected", 0)
+        if n_requests is not None and answered != n_requests:
+            failures.append(
+                f"serving config {config.get('name')!r}: "
+                f"{answered} of {n_requests} requests accounted for"
+            )
+        p50, p99 = config.get("p50_latency_s"), config.get("p99_latency_s")
+        if p50 is not None and p99 is not None and p99 < p50:
+            failures.append(
+                f"serving config {config.get('name')!r}: p99 < p50"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -138,8 +179,15 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--report",
         type=Path,
-        required=True,
-        help="freshly generated report JSON to validate",
+        default=None,
+        help="freshly generated wall-clock report JSON to validate",
+    )
+    parser.add_argument(
+        "--serving-report",
+        type=Path,
+        default=None,
+        help="serve-bench JSON report to gate (host-independent floors; "
+        "no baseline involved)",
     )
     parser.add_argument(
         "--tolerance",
@@ -148,6 +196,29 @@ def main(argv=None) -> int:
         help="allowed fractional regression (default: 0.10 = 10%%)",
     )
     args = parser.parse_args(argv)
+    if args.report is None and args.serving_report is None:
+        parser.error("pass --report and/or --serving-report")
+
+    if args.serving_report is not None:
+        serving = _load(args.serving_report)
+        failures = check_serving(serving)
+        criteria = serving.get("criteria", {})
+        print(
+            f"serving:  schema {serving.get('schema')}, "
+            f"batch_speedup {criteria.get('batch_speedup', 0.0):.2f}x, "
+            f"replica_scaling {criteria.get('replica_scaling', 0.0):.2f}x"
+        )
+        if failures:
+            print(
+                f"\nFAIL — {len(failures)} serving floor(s) broken:",
+                file=sys.stderr,
+            )
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        if args.report is None:
+            print("\nOK — serving floors hold")
+            return 0
 
     baseline = _load(args.baseline)
     report = _load(args.report)

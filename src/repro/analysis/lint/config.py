@@ -152,6 +152,13 @@ UNTRUSTED_MODULES: Tuple[str, ...] = (
     "repro.faults.workload",
     "repro.faults.explorer",
     "repro.faults.mutations",
+    # The inference gateway tier sees only sealed requests and sealed
+    # replies; batching, admission, and replica scheduling all run
+    # outside the enclave (see docs/serving.md).
+    "repro.serving.gateway",
+    "repro.serving.batcher",
+    "repro.serving.replica_pool",
+    "repro.serving.admission",
 )
 
 # ----------------------------------------------------------------------

@@ -112,6 +112,12 @@ UNTRUSTED_MODULES = (
     "repro.faults.workload",
     "repro.faults.explorer",
     "repro.faults.mutations",
+    # Inference gateway tier: handles only sealed bytes, so batching,
+    # admission, and replica scheduling stay outside the enclave TCB.
+    "repro.serving.gateway",
+    "repro.serving.batcher",
+    "repro.serving.replica_pool",
+    "repro.serving.admission",
 )
 
 #: Extra runtime LoC an all-in-enclave design drags in.  The paper's

@@ -15,6 +15,11 @@ from repro.bench.fig9 import Fig9Result, run_fig9
 from repro.bench.fig10 import Fig10Result, run_fig10
 from repro.bench.inference import InferenceResult, run_inference
 from repro.bench.results import format_table
+from repro.bench.serving_load import (
+    ConfigResult,
+    ServingLoadReport,
+    run_serving_load,
+)
 from repro.bench.wallclock import (
     Im2colWallclock,
     MirrorWallclock,
@@ -42,6 +47,9 @@ __all__ = [
     "run_inference",
     "InferenceResult",
     "format_table",
+    "run_serving_load",
+    "ServingLoadReport",
+    "ConfigResult",
     "run_wallclock",
     "write_baseline",
     "load_baseline",

@@ -199,7 +199,7 @@ def _cmd_crashtest(args: argparse.Namespace) -> int:
         exhaustive=args.exhaustive or args.samples is None,
         samples=args.samples if args.samples is not None else 32,
         seed=args.seed,
-        workloads=tuple(args.workload or ("train", "link")),
+        workloads=tuple(args.workload or ("train", "link", "serve")),
     )
     if args.mutate:
         from repro.faults.mutations import apply_mutant
@@ -218,6 +218,47 @@ def _cmd_crashtest(args: argparse.Namespace) -> int:
     else:
         print(report.render_text())
     return 0 if report.ok else 1
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.serving_load import (
+        BATCH16_SPEEDUP_TARGET,
+        render_text,
+        run_serving_load,
+    )
+
+    report = run_serving_load(
+        server=args.server,
+        replicas=args.replicas,
+        batch_max=args.batch_max,
+        rate=args.rate,
+        n_requests=args.requests,
+        seed=args.seed,
+        max_queue_depth=args.queue_depth,
+    )
+    payload = report.to_dict()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    if args.format == "json":
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"serve-bench on {args.server}: {args.requests} sealed "
+            f"requests at {args.rate:,.0f} req/s (seed {args.seed})"
+        )
+        print("\n".join(render_text(report)))
+    if args.batch_max >= 16 and report.batch_speedup < BATCH16_SPEEDUP_TARGET:
+        print(
+            f"FAIL: batch speedup {report.batch_speedup:.2f}x below the "
+            f"{BATCH16_SPEEDUP_TARGET:.1f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _cmd_train(args: argparse.Namespace) -> None:
@@ -322,9 +363,9 @@ def build_parser() -> argparse.ArgumentParser:
     crashtest.add_argument(
         "--workload",
         action="append",
-        choices=["train", "link"],
+        choices=["train", "link", "serve"],
         default=None,
-        help="restrict to one workload (repeatable; default: both)",
+        help="restrict to one workload (repeatable; default: all three)",
     )
     crashtest.add_argument(
         "--mutate",
@@ -345,6 +386,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="report format (json for CI consumers)",
     )
     crashtest.set_defaults(func=_cmd_crashtest)
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="inference gateway load benchmark (batching + replicas)",
+    )
+    serve.add_argument(
+        "--replicas", type=int, default=4,
+        help="enclave replicas in the scaled configuration",
+    )
+    serve.add_argument(
+        "--batch-max", type=int, default=16,
+        help="largest coalesced batch the gateway dispatches",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=50_000.0,
+        help="open-loop Poisson arrival rate (sim requests/second)",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=256,
+        help="number of sealed requests in the arrival stream",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=11, help="arrival/payload seed"
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=0,
+        help="admission-control queue cap (0: never reject)",
+    )
+    serve.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also write the JSON report here (for the regression gate)",
+    )
+    serve.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (json for CI consumers)",
+    )
+    _add_trace_flag(serve)
+    serve.set_defaults(func=_cmd_serve_bench)
 
     train = sub.add_parser("train", help="train a CNN with mirroring")
     train.add_argument("--iterations", type=int, default=100)

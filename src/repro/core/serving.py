@@ -10,31 +10,57 @@ service shape on top of the Plinius stack:
   and submits AES-GCM-sealed inputs;
 * predictions return sealed under the same session; the server never
   sees plaintext images or labels.
+
+Two session flavours coexist:
+
+* the original single-service :class:`~repro.sgx.attestation.SecureChannel`
+  path (``connect``/``handle``), kept for one-enclave deployments;
+* multiplexed :class:`~repro.sgx.attestation.InferenceSession` state
+  (``open_session``/``install_session``/``handle_batch``), which the
+  replicated gateway (:mod:`repro.serving`) provisions to every replica
+  so any of them can answer any request with byte-identical output.
 """
 
 from __future__ import annotations
 
 import struct
+import threading
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.mirror import MirrorModule
 from repro.darknet.network import Network
-from repro.sgx.attestation import QuotingEnclave, SecureChannel, establish_channel
+from repro.sgx.attestation import (
+    InferenceSession,
+    QuotingEnclave,
+    SecureChannel,
+    establish_channel,
+    establish_mux_session,
+)
 from repro.sgx.enclave import Enclave
 from repro.sgx.rand import SgxRandom
 
 _REQUEST = struct.Struct("<QQ")  # n_samples, features
 
+#: One sealed request routed through the gateway:
+#: ``(session_id, seq, sealed_bytes)``.
+BatchItem = Tuple[int, int, bytes]
+
 
 @dataclass
 class InferenceStats:
-    """Service-side accounting."""
+    """Service-side accounting.
+
+    Mutated only under the owning service's lock: the gateway dispatches
+    batches to replicas from its scheduler while sessions are opened
+    concurrently, so bare dataclass increments would race.
+    """
 
     requests: int = 0
     samples: int = 0
+    batches: int = 0
 
 
 class SecureInferenceService:
@@ -54,7 +80,9 @@ class SecureInferenceService:
         self.input_shape = input_shape
         self.mirror = mirror
         self.stats = InferenceStats()
+        self._lock = threading.Lock()
         self._channel: Optional[SecureChannel] = None
+        self._sessions: Dict[int, InferenceSession] = {}
 
     @classmethod
     def from_mirror(
@@ -76,6 +104,39 @@ class SecureInferenceService:
         )
 
     # ------------------------------------------------------------------
+    def _record(self, requests: int, samples: int, batches: int = 0) -> None:
+        """Lock-protected stats mutation, mirrored into ``serve.*``."""
+        with self._lock:
+            self.stats.requests += requests
+            self.stats.samples += samples
+            self.stats.batches += batches
+        recorder = self.enclave.clock.recorder
+        if recorder.enabled:
+            recorder.count("serve.requests", requests)
+            recorder.count("serve.samples", samples)
+            if batches:
+                recorder.count("serve.batches", batches)
+
+    def _decode(self, payload: bytes) -> np.ndarray:
+        """Unpack a request payload into a sample tensor."""
+        n, features = _REQUEST.unpack_from(payload, 0)
+        expected = int(np.prod(self.input_shape))
+        if features != expected:
+            raise ValueError(
+                f"request has {features} features; model expects {expected}"
+            )
+        return np.frombuffer(
+            payload, dtype=np.float32, count=n * features,
+            offset=_REQUEST.size,
+        ).reshape((n,) + tuple(self.input_shape))
+
+    def _predict(self, x: np.ndarray) -> np.ndarray:
+        probs = self.network.predict(x)
+        return probs.argmax(axis=1).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Single-channel path (one enclave, one client)
+    # ------------------------------------------------------------------
     def connect(self, client: "InferenceClient") -> None:
         """Run attestation + channel establishment with a client."""
         owner_channel, enclave_channel = establish_channel(
@@ -93,21 +154,77 @@ class SecureInferenceService:
         if self._channel is None:
             raise RuntimeError("no client connected — run connect() first")
         payload = self._channel.receive(sealed_request)
-        n, features = _REQUEST.unpack_from(payload, 0)
-        expected = int(np.prod(self.input_shape))
-        if features != expected:
-            raise ValueError(
-                f"request has {features} features; model expects {expected}"
-            )
-        x = np.frombuffer(
-            payload, dtype=np.float32, count=n * features,
-            offset=_REQUEST.size,
-        ).reshape((n,) + tuple(self.input_shape))
-        probs = self.network.predict(x)
-        predictions = probs.argmax(axis=1).astype(np.int64)
-        self.stats.requests += 1
-        self.stats.samples += int(n)
+        x = self._decode(payload)
+        predictions = self._predict(x)
+        self._record(requests=1, samples=len(x))
         return self._channel.send(predictions.tobytes())
+
+    # ------------------------------------------------------------------
+    # Multiplexed-session path (the replicated gateway)
+    # ------------------------------------------------------------------
+    def open_session(
+        self, client: "InferenceClient", session_id: int
+    ) -> InferenceSession:
+        """Attest and establish a multiplexed session with ``client``.
+
+        The in-enclave step of session setup: the DH randomness comes
+        from the enclave DRNG, seeded by the session id so session keys
+        are deterministic per deployment but unique per session.
+        Returns the enclave-side session (for provisioning to peer
+        replicas via :meth:`install_session`).
+        """
+        owner_session, enclave_session = establish_mux_session(
+            self.enclave,
+            self.quoting_enclave,
+            expected_measurement=client.expected_measurement,
+            rand_enclave=SgxRandom(
+                b"svc-sess-" + session_id.to_bytes(8, "big")
+            ),
+            rand_owner=client.rand,
+            session_id=session_id,
+        )
+        self.install_session(enclave_session)
+        client.attach_session(owner_session)
+        return enclave_session
+
+    def install_session(self, session: InferenceSession) -> None:
+        """Provision session state attested by a peer replica."""
+        with self._lock:
+            self._sessions[session.session_id] = session
+
+    def _session(self, session_id: int) -> InferenceSession:
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise KeyError(
+                f"no session {session_id} provisioned on this replica"
+            )
+        return session
+
+    def handle_request(self, session_id: int, seq: int, sealed: bytes) -> bytes:
+        """Classify one sealed request under its multiplexed session."""
+        (response,) = self.handle_batch([(session_id, seq, sealed)])
+        return response
+
+    def handle_batch(self, items: Sequence[BatchItem]) -> List[bytes]:
+        """Classify a coalesced batch of sealed requests in one entry.
+
+        Responses are sealed under each request's own session with the
+        nonce derived from ``(session, seq)``, so the returned bytes are
+        independent of how the gateway split requests into batches and
+        of which replica ran the batch — exactly the bytes the
+        sequential seed service would have produced.
+        """
+        responses: List[bytes] = []
+        samples = 0
+        for session_id, seq, sealed in items:
+            session = self._session(session_id)
+            x = self._decode(session.open_request(seq, sealed))
+            predictions = self._predict(x)
+            samples += len(x)
+            responses.append(session.seal_response(seq, predictions.tobytes()))
+        self._record(requests=len(items), samples=samples, batches=1)
+        return responses
 
 
 class InferenceClient:
@@ -119,19 +236,33 @@ class InferenceClient:
         self.expected_measurement = expected_measurement
         self.rand = SgxRandom(b"client-" + seed.to_bytes(4, "big"))
         self._channel: Optional[SecureChannel] = None
+        self._session: Optional[InferenceSession] = None
+        self._next_seq = 0
 
     def attach(self, channel: SecureChannel) -> None:
         self._channel = channel
+
+    def attach_session(self, session: InferenceSession) -> None:
+        self._session = session
+
+    @property
+    def session_id(self) -> int:
+        if self._session is None:
+            raise RuntimeError("client has no multiplexed session")
+        return self._session.session_id
+
+    @staticmethod
+    def _payload(images: np.ndarray) -> bytes:
+        flat = np.ascontiguousarray(
+            images.reshape(len(images), -1), dtype=np.float32
+        )
+        return _REQUEST.pack(len(flat), flat.shape[1]) + flat.tobytes()
 
     def seal_request(self, images: np.ndarray) -> bytes:
         """Seal a batch of images for the service."""
         if self._channel is None:
             raise RuntimeError("client not connected")
-        flat = np.ascontiguousarray(
-            images.reshape(len(images), -1), dtype=np.float32
-        )
-        payload = _REQUEST.pack(len(flat), flat.shape[1]) + flat.tobytes()
-        return self._channel.send(payload)
+        return self._channel.send(self._payload(images))
 
     def open_response(self, sealed: bytes) -> np.ndarray:
         """Unseal the predicted class indices."""
@@ -144,3 +275,27 @@ class InferenceClient:
     ) -> np.ndarray:
         """Round-trip convenience: seal, submit, unseal."""
         return self.open_response(service.handle(self.seal_request(images)))
+
+    # ------------------------------------------------------------------
+    # Multiplexed-session path
+    # ------------------------------------------------------------------
+    def seal_request_seq(self, images: np.ndarray) -> Tuple[int, bytes]:
+        """Seal a request under the mux session; returns ``(seq, bytes)``.
+
+        The sequence number is allocated exactly once per request: it
+        pins the response nonce, so a redispatched request yields the
+        same sealed reply rather than a second distinguishable one.
+        """
+        if self._session is None:
+            raise RuntimeError("client has no multiplexed session")
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq, self._session.seal_request(seq, self._payload(images))
+
+    def open_response_seq(self, seq: int, sealed: bytes) -> np.ndarray:
+        """Unseal the reply to request ``seq`` of this session."""
+        if self._session is None:
+            raise RuntimeError("client has no multiplexed session")
+        return np.frombuffer(
+            self._session.open_response(seq, sealed), dtype=np.int64
+        )

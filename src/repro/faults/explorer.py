@@ -45,7 +45,7 @@ class ExploreConfig:
     seed: int = 0
     per_site_cap: int = 6
     flip_bits: Tuple[int, ...] = DEFAULT_FLIP_BITS
-    workloads: Tuple[str, ...] = ("train", "link")
+    workloads: Tuple[str, ...] = ("train", "link", "serve")
     shrink: bool = True
 
 

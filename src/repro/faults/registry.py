@@ -45,7 +45,7 @@ class FaultSite:
     """One named injection point."""
 
     name: str
-    layer: str  #: hw | romulus | sgx | crypto | distributed
+    layer: str  #: hw | romulus | sgx | crypto | distributed | serving
     kinds: Tuple[str, ...]
     api: str  #: "check" or "mutate"
     description: str
@@ -111,6 +111,14 @@ SITES: Dict[str, FaultSite] = {
               "at the top of a stage worker's forward pass"),
         _site("distributed.worker.mirror", "distributed", (CRASH,), "check",
               "before a stage worker persists its mirror"),
+        # ----------------------------------------------------- serving
+        _site("serve.dispatch", "serving", (CRASH, ABORT), "check",
+              "before a coalesced batch enters a replica enclave; "
+              "ABORT models a transient ecall failure the gateway "
+              "retries, CRASH a replica dying mid-batch"),
+        _site("serve.reload", "serving", (CRASH,), "check",
+              "between generations during a replica hot-reload, "
+              "before mirror_in swaps the served weights"),
     )
 }
 

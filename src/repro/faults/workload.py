@@ -9,7 +9,7 @@ After the fault the workload performs whatever recovery the real system
 would (reboot, Romulus recovery, mirror-in, retry) and the replay's
 final state is checked against the golden run's.
 
-Two workloads cover the whole instrumented surface:
+Three workloads cover the whole instrumented surface:
 
 * :class:`TrainWorkload` — the single-machine Plinius stack: sealed-key
   provisioning over SSD + sgx sealing ecalls, Romulus region format/
@@ -19,6 +19,10 @@ Two workloads cover the whole instrumented surface:
 * :class:`LinkWorkload` — one stage worker training against a secure
   inter-enclave link, with per-step mirroring and kill/resume recovery.
   Exercises the ``link.*`` and ``distributed.worker.*`` sites.
+* :class:`ServeWorkload` — the replicated inference gateway serving
+  sealed requests across a mid-run hot model reload.  Exercises the
+  ``serve.*`` sites (plus the ``crypto.*``/``pm.*``/``romulus.*`` hits
+  of in-band sealing and the generation-2 mirror commit).
 
 Determinism contract: every run builds a fresh machine from fixed seeds,
 so the n-th arrival at a fault point is the same program state in the
@@ -724,9 +728,453 @@ class LinkWorkload:
         return outcome
 
 
+class _ServeMachine:
+    """Durable state of one serving deployment across replay reboots.
+
+    The PM device (holding the Romulus region and the encrypted model
+    mirror) and the sim clock survive a crash; enclaves, the replica
+    pool, the gateway, and client session state are volatile and are
+    rebuilt by every boot.
+    """
+
+    def __init__(self, pm_size: int, server: str, seed: int) -> None:
+        self.profile = get_profile(server)
+        self.clock = SimClock()
+        self.recorder = TraceRecorder()
+        self.clock.recorder = self.recorder
+        self.pm = PersistentMemoryDevice(
+            pm_size,
+            self.clock,
+            self.profile.pm,
+            clflush_cost=self.profile.clflush_cost,
+            clflushopt_cost=self.profile.clflushopt_cost,
+            sfence_cost=self.profile.sfence_cost,
+            store_cost=self.profile.store_cost,
+            load_cost=self.profile.load_cost,
+        )
+        self.rand = SgxRandom(b"faults-serve-" + seed.to_bytes(4, "big"))
+        self.engine_key = hashlib.sha256(
+            b"faults-serve-key-" + seed.to_bytes(4, "big")
+        ).digest()[:16]
+        #: Highest model generation observed committed (I6 floor).
+        self.last_committed = 0
+        #: Delivered sealed responses, keyed by request index.
+        self.answered: Dict[int, bytes] = {}
+        #: Generation that served each answered request.
+        self.served_generation: Dict[int, int] = {}
+        #: Highest generation each replica index has served (monotone).
+        self.max_gen_served: Dict[int, int] = {}
+        self.gateway = None
+        self.label_of: Dict[int, int] = {}
+        self.stored_iteration = 0
+        self.redispatches = 0
+
+    def power_fail(self) -> None:
+        self.pm.crash()
+
+
+class ServeWorkload:
+    """The replicated inference gateway under fault injection.
+
+    The scenario: a mirror holding model generation 1 is committed
+    fault-free; the armed phase stands up a 2-replica pool, opens two
+    client sessions, streams 8 sealed requests through the gateway, and
+    — mid-run — commits generation 2 to the mirror and publishes it, so
+    replicas hot-reload between batches.  A ``serve.dispatch`` ABORT is
+    absorbed by the gateway's exactly-once redispatch; every CRASH kind
+    (a replica or the whole host dying) is a power failure: the boot
+    loop rebuilds the volatile tier from PM, re-establishes the same
+    deterministic sessions, and resubmits only the unanswered requests.
+
+    Invariants checked against the golden run: every request is
+    answered exactly once; each sealed response is byte-identical to
+    the reference sealing under one of the *committed* generations
+    (never a torn mix — replica weight digests must match a committed
+    generation exactly); per-replica served generations are monotone;
+    the mirror never regresses (I6); in-boot IVs stay unique (I5); a
+    delivered bit-flip is rejected, fail-stop (I7).
+    """
+
+    name = "serve"
+
+    N_REQUESTS = 8
+    N_REPLICAS = 2
+    N_CLIENTS = 2
+    BATCH_MAX = 4
+    #: Sim seconds between request arrivals.
+    ARRIVAL_GAP = 2e-4
+    #: Sim time of the generation-2 commit + publish.
+    UPDATE_AT = 5e-4
+
+    def __init__(
+        self,
+        server: str = "emlSGX-PM",
+        pm_size: int = 1 << 20,
+        seed: int = 7777,
+    ) -> None:
+        self.server = server
+        self.pm_size = pm_size
+        self.seed = seed
+        self._golden: Optional[GoldenRun] = None
+        self._refs: Optional[Dict[int, Dict[int, bytes]]] = None
+
+    # ------------------------------------------------------------------
+    def _network(self, generation: int):
+        net = build_mnist_cnn(
+            n_conv_layers=1,
+            filters=2,
+            batch=4,
+            learning_rate=0.1,
+            rng=np.random.default_rng((self.seed, generation)),
+        )
+        net.momentum = 0.0
+        return net
+
+    def _image(self, index: int) -> np.ndarray:
+        rng = np.random.default_rng((self.seed, 100 + index))
+        return rng.random((1, 1, 28, 28), dtype=np.float32)
+
+    @staticmethod
+    def _client_session(index: int) -> int:
+        """Request ``index`` rides session ``1 + index % N_CLIENTS``."""
+        return 1 + index % ServeWorkload.N_CLIENTS
+
+    # ------------------------------------------------------------------
+    def _references(self) -> Dict[int, Dict[int, bytes]]:
+        """Per-request sealed reference responses under each generation.
+
+        Session keys are deterministic (both DH sides draw from seeded
+        DRNGs), so the exact sealed bytes a replica must produce are
+        computable offline for generation 1 and generation 2 weights.
+        """
+        if self._refs is not None:
+            return self._refs
+        from repro.sgx.attestation import (
+            QuotingEnclave,
+            establish_mux_session,
+        )
+
+        profile = get_profile(self.server)
+        enclave = Enclave(SimClock(), profile.sgx)
+        qe = QuotingEnclave(b"serve-platform")
+        enclave_side = {}
+        for sid in range(1, self.N_CLIENTS + 1):
+            _, enclave_session = establish_mux_session(
+                enclave,
+                qe,
+                expected_measurement=enclave.measurement,
+                rand_enclave=SgxRandom(
+                    b"svc-sess-" + sid.to_bytes(8, "big")
+                ),
+                rand_owner=SgxRandom(b"client-" + sid.to_bytes(4, "big")),
+                session_id=sid,
+            )
+            enclave_side[sid] = enclave_session
+        nets = {1: self._network(1), 2: self._network(2)}
+        refs: Dict[int, Dict[int, bytes]] = {}
+        for index in range(self.N_REQUESTS):
+            sid = self._client_session(index)
+            seq = index // self.N_CLIENTS
+            refs[index] = {}
+            for generation, net in nets.items():
+                preds = (
+                    net.predict(self._image(index))
+                    .argmax(axis=1)
+                    .astype(np.int64)
+                )
+                refs[index][generation] = enclave_side[sid].seal_response(
+                    seq, preds.tobytes()
+                )
+        self._refs = refs
+        return refs
+
+    # ------------------------------------------------------------------
+    def golden(self) -> GoldenRun:
+        if self._golden is None:
+            plan = CountingPlan()
+            outcome = self._run(plan)
+            violations = list(outcome.violations)
+            if not outcome.completed:
+                violations.append("golden run failed to complete")
+            if outcome.reboots:
+                violations.append(
+                    f"golden run rebooted {outcome.reboots} times"
+                )
+            dups = plan.duplicate_ivs()
+            if dups:
+                violations.append(
+                    f"I5: {len(dups)} AES-GCM IVs reused within one boot"
+                )
+            self._golden = GoldenRun(
+                hits=dict(plan.hits),
+                losses=dict(outcome.losses),
+                final_iteration=outcome.final_iteration,
+                stored_iteration=outcome.stored_iteration,
+                params_digest=outcome.params_digest,
+                violations=violations,
+            )
+        return self._golden
+
+    def replay(self, spec: FaultSpec) -> ReplayOutcome:
+        golden = self.golden()
+        refs = self._references()
+        plan = CrashSchedulePlan(spec)
+        outcome = self._run(plan)
+        outcome.spec = spec
+        outcome.fired = plan.fired
+        v = outcome.violations
+        if not plan.fired:
+            v.append(
+                f"fault {spec.describe()} never fired (golden saw "
+                f"{golden.hits.get(spec.site, 0)} hits at this site)"
+            )
+        dups = plan.duplicate_ivs()
+        if dups:
+            v.append(f"I5: {len(dups)} AES-GCM IVs reused within one boot")
+        if spec.kind == FLIP and plan.fired:
+            if outcome.integrity_rejections == 0:
+                v.append(
+                    "I7: a delivered bit-flip in a sealed record was "
+                    "accepted without an IntegrityError"
+                )
+        if outcome.completed:
+            answered = outcome.losses  # request index -> response slot
+            if outcome.final_iteration != self.N_REQUESTS:
+                v.append(
+                    f"I3: {outcome.final_iteration} of "
+                    f"{self.N_REQUESTS} requests answered"
+                )
+            for index, sealed in answered.items():
+                if sealed not in refs[index].values():
+                    v.append(
+                        f"I3: response to request {index} matches no "
+                        "committed model generation (torn or corrupt "
+                        "serving state)"
+                    )
+            if outcome.stored_iteration != golden.stored_iteration:
+                v.append(
+                    f"I6: final mirror stores iteration "
+                    f"{outcome.stored_iteration}, expected "
+                    f"{golden.stored_iteration}"
+                )
+        elif not v:
+            v.append("run did not complete yet no violation was recorded")
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _run(self, plan: BaseFaultPlan) -> ReplayOutcome:
+        machine = _ServeMachine(self.pm_size, self.server, self.seed)
+        outcome = ReplayOutcome()
+        spec = getattr(plan, "spec", None)
+        self._setup(machine)  # fault-free: region + generation-1 mirror
+        with installed(plan):
+            while True:
+                plan.mark_boot()
+                try:
+                    self._boot(machine, outcome.violations)
+                    outcome.completed = not outcome.violations
+                    break
+                except InjectedCrash:
+                    self._harvest(machine, outcome.violations)
+                except InjectedEcallAbort:
+                    # An abort the gateway could not absorb: the host
+                    # treats it as fatal and power-cycles.
+                    self._harvest(machine, outcome.violations)
+                except InjectedLinkDrop:
+                    outcome.violations.append(
+                        "link drop escaped into the serve workload"
+                    )
+                    break
+                except IntegrityError as exc:
+                    outcome.integrity_rejections += 1
+                    expected = (
+                        spec is not None
+                        and spec.kind == FLIP
+                        and outcome.integrity_rejections == 1
+                    )
+                    if not expected:
+                        outcome.violations.append(
+                            "I2: sealed data failed its MAC check after "
+                            f"a {spec.kind if spec else 'golden'} fault: "
+                            f"{exc}"
+                        )
+                        break
+                    # Fail-stop: power-cycle and reboot.
+                    self._harvest(machine, outcome.violations)
+                except Exception as exc:  # noqa: BLE001 — I0 catch-all
+                    outcome.violations.append(
+                        f"I0: unexpected {type(exc).__name__} escaped the "
+                        f"workload: {exc}"
+                    )
+                    break
+                if outcome.completed or outcome.violations:
+                    break
+                plan.disarm()
+                machine.power_fail()
+                outcome.reboots += 1
+                if outcome.reboots > MAX_REBOOTS:
+                    outcome.violations.append(
+                        f"machine failed to recover within {MAX_REBOOTS} "
+                        "reboots"
+                    )
+                    break
+        outcome.losses = dict(machine.answered)
+        outcome.final_iteration = len(machine.answered)
+        outcome.stored_iteration = machine.stored_iteration
+        if machine.answered:
+            h = hashlib.sha256()
+            for index in sorted(machine.answered):
+                h.update(machine.answered[index])
+            outcome.params_digest = h.hexdigest()
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _setup(self, m: _ServeMachine) -> None:
+        """Fault-free: format the region, commit generation 1."""
+        main_size = (m.pm.size - HEADER_SIZE) // 2
+        region = RomulusRegion(m.pm, main_size).format()
+        heap = PersistentHeap(region)
+        engine = EncryptionEngine(m.engine_key, rand=m.rand)
+        enclave = Enclave(m.clock, m.profile.sgx)
+        mirror = MirrorModule(region, heap, engine, enclave, m.profile)
+        mirror.alloc_mirror_model(self._network(1))
+        mirror.mirror_out(self._network(1), 1)
+        m.last_committed = 1
+        m.stored_iteration = 1
+
+    def _harvest(self, m: _ServeMachine, violations: List[str]) -> None:
+        """Fold one boot's delivered responses into the durable record."""
+        if m.gateway is None:
+            return
+        result = m.gateway.result
+        for rid, record in result.responses.items():
+            index = m.label_of[rid]
+            if index in m.answered:
+                violations.append(
+                    f"request {index} was answered twice (exactly-once "
+                    "redispatch violated)"
+                )
+                continue
+            m.answered[index] = record.sealed
+            m.served_generation[index] = record.generation
+        for batch in result.batches:
+            floor = m.max_gen_served.get(batch.replica, 0)
+            if batch.generation < floor:
+                violations.append(
+                    f"replica {batch.replica} served generation "
+                    f"{batch.generation} after generation {floor} "
+                    "(non-monotone hot reload)"
+                )
+            m.max_gen_served[batch.replica] = max(floor, batch.generation)
+        m.redispatches += result.redispatches
+        m.gateway = None
+
+    def _boot(self, m: _ServeMachine, violations: List[str]) -> None:
+        """One boot: rebuild the volatile tier, serve what's unanswered."""
+        from repro.core.serving import InferenceClient
+        from repro.serving import (
+            AdmissionPolicy,
+            BatchPolicy,
+            InferenceGateway,
+            ReplicaPool,
+        )
+        from repro.sgx.attestation import QuotingEnclave
+
+        region = RomulusRegion.open(m.pm)
+        heap = PersistentHeap(region)
+        engine = EncryptionEngine(m.engine_key, rand=m.rand)
+        enclave = Enclave(m.clock, m.profile.sgx)
+        mirror = MirrorModule(region, heap, engine, enclave, m.profile)
+        stored = mirror.stored_iteration()
+        if stored < m.last_committed:
+            violations.append(
+                f"I6: mirror regressed to generation {stored} after a "
+                f"crash (generation {m.last_committed} had committed)"
+            )
+            return
+        qe = QuotingEnclave(b"serve-platform")
+        pool = ReplicaPool(
+            mirror,
+            qe,
+            m.clock,
+            m.profile,
+            lambda: self._network(1),
+            n_replicas=self.N_REPLICAS,
+        )
+        gateway = InferenceGateway(
+            pool,
+            m.clock,
+            BatchPolicy(max_requests=self.BATCH_MAX, max_delay=1e-3),
+            AdmissionPolicy(max_queue_depth=64),
+        )
+        m.gateway = gateway
+        m.label_of = {}
+
+        clients = {}
+        for sid in range(1, self.N_CLIENTS + 1):
+            client = InferenceClient(pool.measurement, seed=sid)
+            pool.open_session(client, sid)
+            clients[sid] = client
+
+        base = m.clock.now()
+        for index in range(self.N_REQUESTS):
+            sid = self._client_session(index)
+            # Seal every request (fresh clients restart their seq
+            # streams, so the bytes are boot-independent) but submit
+            # only the ones still unanswered.
+            seq, sealed = clients[sid].seal_request_seq(self._image(index))
+            if index in m.answered:
+                continue
+            rid = gateway.submit(
+                sid, seq, sealed, 1, at=base + index * self.ARRIVAL_GAP
+            )
+            m.label_of[rid] = index
+
+        if mirror.stored_iteration() < 2:
+            net2 = self._network(2)
+
+            def update() -> None:
+                mirror.mirror_out(net2, 2)
+                m.last_committed = 2
+                pool.publish_generation()
+
+            gateway.schedule_call(base + self.UPDATE_AT, update)
+        # A generation-2 mirror that committed before a crash must still
+        # be published to the rebuilt pool (spawn already adopted it).
+
+        gateway.run()
+        self._harvest(m, violations)
+        m.stored_iteration = mirror.stored_iteration()
+
+        # Torn-mix check: every live replica's weights must be exactly
+        # one committed generation's weights.
+        digests = {
+            params_digest(self._network(1)): 1,
+            params_digest(self._network(2)): 2,
+        }
+        for replica in pool.healthy_replicas():
+            digest = params_digest(replica.network)
+            generation = digests.get(digest)
+            if generation is None:
+                violations.append(
+                    f"replica {replica.index} serves weights matching no "
+                    "committed generation (torn reload)"
+                )
+            elif generation != replica.generation:
+                violations.append(
+                    f"replica {replica.index} labels its weights "
+                    f"generation {replica.generation} but they are "
+                    f"generation {generation}'s"
+                )
+
+
 def make_workload(name: str, **kwargs):
     """Workload factory used by the explorer and the CLI."""
-    table = {"train": TrainWorkload, "link": LinkWorkload}
+    table = {
+        "train": TrainWorkload,
+        "link": LinkWorkload,
+        "serve": ServeWorkload,
+    }
     try:
         return table[name](**kwargs)
     except KeyError:

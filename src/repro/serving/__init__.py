@@ -1,0 +1,37 @@
+"""The simulated secure inference gateway (untrusted tier).
+
+Production shape for the paper's Section VI inference demo: an
+event-driven request scheduler that coalesces sealed client requests
+into batches, dispatches them across attested
+:class:`~repro.core.serving.SecureInferenceService` enclave replicas,
+applies admission control under load, and hot-swaps replicas onto new
+model generations as the trainer keeps mirroring weights to PM.
+
+Everything here runs *outside* the enclave: the gateway sees only
+sealed requests and sealed replies, and is classified untrusted in the
+TCB partitioning (see ``docs/serving.md`` for the threat model).
+"""
+
+from repro.serving.admission import AdmissionController, AdmissionPolicy
+from repro.serving.batcher import BatchPolicy, PendingRequest, RequestQueue
+from repro.serving.gateway import (
+    BatchRecord,
+    GatewayResult,
+    InferenceGateway,
+    ResponseRecord,
+)
+from repro.serving.replica_pool import ReplicaPool, ServingReplica
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "BatchPolicy",
+    "BatchRecord",
+    "GatewayResult",
+    "InferenceGateway",
+    "PendingRequest",
+    "ReplicaPool",
+    "RequestQueue",
+    "ResponseRecord",
+    "ServingReplica",
+]

@@ -1,0 +1,46 @@
+"""Admission control: bounded queues and backpressure for the gateway.
+
+An open-loop arrival stream has no intrinsic brake — if offered load
+exceeds the replica pool's service rate, the request queue grows without
+bound and every latency percentile diverges.  The admission controller
+caps the queue depth: a request arriving at a full queue is rejected
+immediately (the client sees backpressure instead of unbounded delay),
+which keeps the latency of admitted requests bounded by
+``depth / service_rate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Knobs for the gateway's admission decision."""
+
+    #: Maximum number of requests waiting in the gateway queue
+    #: (requests already dispatched into a replica don't count).
+    max_queue_depth: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+
+
+class AdmissionController:
+    """Stateful admit/reject decisions plus their accounting."""
+
+    def __init__(self, policy: AdmissionPolicy) -> None:
+        self.policy = policy
+        self.admitted = 0
+        self.rejected = 0
+
+    def admit(self, queue_depth: int) -> bool:
+        """Whether a new arrival may enter a queue of ``queue_depth``."""
+        if queue_depth >= self.policy.max_queue_depth:
+            self.rejected += 1
+            return False
+        self.admitted += 1
+        return True

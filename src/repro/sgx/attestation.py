@@ -25,7 +25,7 @@ import hmac
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.crypto.engine import EncryptionEngine, RandomSource
+from repro.crypto.engine import IV_SIZE, EncryptionEngine, RandomSource
 from repro.sgx.enclave import Enclave
 from repro.sgx.sealing import hkdf_sha256  # repro: noqa[SEC002] -- models both endpoints of the DH exchange; the enclave-side derivation is the in-enclave step of remote attestation
 
@@ -108,6 +108,73 @@ class SecureChannel:
         return self.engine.unseal(sealed, aad=b"plinius-secure-channel")
 
 
+class InferenceSession:
+    """One attested client session, multiplexable across enclave replicas.
+
+    :class:`SecureChannel` draws each AES-GCM nonce from the endpoint's
+    DRNG, so message bytes depend on the *global order* of seals on that
+    channel — fine for a single service, wrong for a replica pool where
+    the replica that answers request ``seq`` is a scheduling decision.
+    The mux session instead derives every nonce from
+    ``HKDF(session key, direction ‖ seq)`` and binds direction, session
+    id and sequence number into the AAD.  Consequences:
+
+    * any replica provisioned with the session state seals response
+      ``seq`` to the exact same bytes, regardless of batching, dispatch
+      order, or a redispatch after a replica crash;
+    * a sealed reply replayed under a different session (or reflected
+      back as a request) fails its MAC check.
+
+    A ``(direction, seq)`` coordinate is allocated to exactly one
+    plaintext — ``seq`` is fixed when the client seals the request — so
+    no nonce is ever reused with two different payloads under one key.
+    """
+
+    _DIR_REQUEST = b"req"
+    _DIR_RESPONSE = b"rsp"
+
+    def __init__(self, session_id: int, key: bytes) -> None:
+        self.session_id = session_id
+        self._key = bytes(key)
+        self.engine = EncryptionEngine(self._key)
+
+    def _iv(self, direction: bytes, seq: int) -> bytes:
+        return hkdf_sha256(
+            self._key,
+            b"plinius-mux-iv",
+            direction + seq.to_bytes(8, "big"),
+            IV_SIZE,
+        )
+
+    def _aad(self, direction: bytes, seq: int) -> bytes:
+        return (
+            b"plinius-mux|"
+            + direction
+            + self.session_id.to_bytes(8, "big")
+            + seq.to_bytes(8, "big")
+        )
+
+    def _seal(self, direction: bytes, seq: int, payload: bytes) -> bytes:
+        return self.engine.seal(
+            payload, aad=self._aad(direction, seq), iv=self._iv(direction, seq)
+        )
+
+    def _open(self, direction: bytes, seq: int, sealed: bytes) -> bytes:
+        return self.engine.unseal(sealed, aad=self._aad(direction, seq))
+
+    def seal_request(self, seq: int, payload: bytes) -> bytes:
+        return self._seal(self._DIR_REQUEST, seq, payload)
+
+    def open_request(self, seq: int, sealed: bytes) -> bytes:
+        return self._open(self._DIR_REQUEST, seq, sealed)
+
+    def seal_response(self, seq: int, payload: bytes) -> bytes:
+        return self._seal(self._DIR_RESPONSE, seq, payload)
+
+    def open_response(self, seq: int, sealed: bytes) -> bytes:
+        return self._open(self._DIR_RESPONSE, seq, sealed)
+
+
 def _dh_keypair(rand: RandomSource) -> Tuple[int, int]:
     private = int.from_bytes(rand(32), "big") | 1
     public = pow(_MODP_GENERATOR, private, _MODP_PRIME)
@@ -121,18 +188,15 @@ def _session_engine(
     return EncryptionEngine(key, rand=rand)
 
 
-def establish_channel(
+def _attested_exchange(
     enclave: Enclave,
     quoting_enclave: QuotingEnclave,
     expected_measurement: bytes,
     rand_enclave: RandomSource,
     rand_owner: RandomSource,
-) -> Tuple[SecureChannel, SecureChannel]:
-    """Run attestation + DH; returns (owner channel, enclave channel).
-
-    Raises :class:`AttestationError` if the quote does not verify or the
-    measurement is not the one the owner expects.
-    """
+) -> Tuple[int, int]:
+    """Quote-verified DH; returns (owner shared secret, enclave shared
+    secret) — equal integers computed independently by each side."""
     # Enclave side: DH keypair, public key goes into the quote.
     enclave_priv, enclave_pub = _dh_keypair(rand_enclave)
     report_data = hashlib.sha256(
@@ -158,8 +222,67 @@ def establish_channel(
 
     shared_owner = pow(enclave_pub, owner_priv, _MODP_PRIME)
     shared_enclave = pow(owner_pub, enclave_priv, _MODP_PRIME)
+    return shared_owner, shared_enclave
+
+
+def establish_channel(
+    enclave: Enclave,
+    quoting_enclave: QuotingEnclave,
+    expected_measurement: bytes,
+    rand_enclave: RandomSource,
+    rand_owner: RandomSource,
+) -> Tuple[SecureChannel, SecureChannel]:
+    """Run attestation + DH; returns (owner channel, enclave channel).
+
+    Raises :class:`AttestationError` if the quote does not verify or the
+    measurement is not the one the owner expects.
+    """
+    shared_owner, shared_enclave = _attested_exchange(
+        enclave, quoting_enclave, expected_measurement,
+        rand_enclave, rand_owner,
+    )
     owner_channel = SecureChannel(_session_engine(shared_owner, rand_owner))
     enclave_channel = SecureChannel(
         _session_engine(shared_enclave, rand_enclave)
     )
     return owner_channel, enclave_channel
+
+
+def _mux_session_key(shared: int, session_id: int) -> bytes:
+    secret = shared.to_bytes((_MODP_PRIME.bit_length() + 7) // 8, "big")
+    return hkdf_sha256(
+        secret,
+        b"plinius-ra",
+        b"mux-session-" + session_id.to_bytes(8, "big"),
+        16,
+    )
+
+
+def establish_mux_session(
+    enclave: Enclave,
+    quoting_enclave: QuotingEnclave,
+    expected_measurement: bytes,
+    rand_enclave: RandomSource,
+    rand_owner: RandomSource,
+    session_id: int,
+) -> Tuple[InferenceSession, InferenceSession]:
+    """Attested session setup for the replicated inference service.
+
+    Same quote-verified DH exchange as :func:`establish_channel`, but the
+    derived state is an :class:`InferenceSession` pair — the enclave-side
+    session is what the gateway provisions to every replica (the session
+    key never leaves enclave custody: replicas of the same measurement
+    exchange it over their own attested channels, modelled here as the
+    shared session object).  Returns (owner session, enclave session).
+    """
+    shared_owner, shared_enclave = _attested_exchange(
+        enclave, quoting_enclave, expected_measurement,
+        rand_enclave, rand_owner,
+    )
+    owner_session = InferenceSession(
+        session_id, _mux_session_key(shared_owner, session_id)
+    )
+    enclave_session = InferenceSession(
+        session_id, _mux_session_key(shared_enclave, session_id)
+    )
+    return owner_session, enclave_session

@@ -30,6 +30,7 @@ from repro.simtime.costs import (
     ComputeCostModel,
     CryptoCostModel,
     DeviceCostModel,
+    InferenceCostModel,
     SgxCostModel,
 )
 
@@ -46,6 +47,7 @@ class ServerProfile:
     sgx: SgxCostModel
     crypto: CryptoCostModel
     compute: ComputeCostModel = field(default_factory=ComputeCostModel)
+    inference: InferenceCostModel = field(default_factory=InferenceCostModel)
     # PM flush/fence micro-costs used by the Romulus SPS benchmark (Fig. 6).
     clflush_cost: float = 100e-9  # serialized flush, paired with NOP
     clflushopt_cost: float = 25e-9  # parallelizable flush
@@ -106,6 +108,14 @@ SGX_EMLPM = ServerProfile(
         per_buffer_overhead=35e-6,
     ),
     compute=ComputeCostModel(flops_per_second=14e9),
+    inference=InferenceCostModel(
+        # Real SGX: batch setup is dominated by re-touching the (EPC-
+        # resident, MEE-taxed) weights plus the enclave entry/exit pair.
+        flops_per_second=14e9,
+        batch_setup=950e-6,
+        per_request_overhead=35e-6,
+        per_sample_overhead=12e-6,
+    ),
     # Ramdisk "PM": cache-line flushes hit DRAM, far cheaper than Optane.
     clflush_cost=30e-9,
     clflushopt_cost=8e-9,
@@ -151,6 +161,14 @@ EMLSGX_PM = ServerProfile(
         per_buffer_overhead=30e-6,
     ),
     compute=ComputeCostModel(flops_per_second=10e9),
+    inference=InferenceCostModel(
+        # SGX simulation mode: no MEE tax on the weight staging, but the
+        # dispatch/weight-refresh setup per batch remains.
+        flops_per_second=10e9,
+        batch_setup=800e-6,
+        per_request_overhead=30e-6,
+        per_sample_overhead=10e-6,
+    ),
     # Optane media flushes are costlier than Ramdisk cache flushes.
     clflush_cost=90e-9,
     clflushopt_cost=30e-9,

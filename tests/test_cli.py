@@ -135,6 +135,67 @@ class TestCrashtest:
             build_parser().parse_args(["crashtest", "--workload", "bogus"])
 
 
+class TestServeBench:
+    SMALL = [
+        "serve-bench", "--replicas", "2", "--batch-max", "4",
+        "--requests", "24", "--seed", "3",
+    ]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.replicas == 4
+        assert args.batch_max == 16
+        assert args.format == "text"
+        assert args.queue_depth == 0
+
+    def test_small_run_exits_zero(self, capsys):
+        assert main(self.SMALL) == 0
+        out = capsys.readouterr().out
+        assert "serve-bench on emlSGX-PM" in out
+        assert "sequential" in out and "batched" in out and "scaled" in out
+
+    def test_json_format_is_machine_readable(self, capsys):
+        assert main(self.SMALL + ["--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "plinius-serving-load/1"
+        assert doc["criteria"]["batch_speedup"] > 1.0
+        names = [c["name"] for c in doc["configs"]]
+        assert names == ["sequential", "batched", "scaled"]
+        for config in doc["configs"]:
+            assert config["completed"] + config["rejected"] == 24
+
+    def test_out_writes_report_file(self, tmp_path, capsys):
+        path = tmp_path / "serve.json"
+        assert main(self.SMALL + ["--out", str(path)]) == 0
+        capsys.readouterr()  # text report still printed
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "plinius-serving-load/1"
+
+    def test_batch16_gate_passes_at_acceptance_size(self, capsys):
+        # The ISSUE acceptance command (smaller request count): the
+        # >= 3x speedup gate is armed whenever batch_max >= 16.
+        rc = main(
+            ["serve-bench", "--replicas", "4", "--batch-max", "16",
+             "--requests", "48", "--format", "json"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0, captured.err
+        doc = json.loads(captured.out)
+        assert doc["criteria"]["batch_speedup"] >= 3.0
+
+    def test_trace_writes_serve_spans(self, tmp_path, capsys):
+        path = tmp_path / "serve-trace.json"
+        assert main(self.SMALL + ["--trace", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        names = {e.get("name") for e in doc["traceEvents"]}
+        assert "serve.batch" in names
+        assert "trace:" in capsys.readouterr().out
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-bench", "--format", "yaml"])
+
+
 class TestFormatJson:
     def test_tcb_json(self, capsys):
         assert main(["tcb", "--format", "json"]) == 0

@@ -40,14 +40,15 @@ class TestRegistry:
         for name, site in SITES.items():
             assert site.name == name
             assert site.layer in ("hw", "romulus", "sgx", "crypto",
-                                  "distributed")
+                                  "distributed", "serving")
             assert site.api in ("check", "mutate")
             assert site.kinds, name
             for kind in site.kinds:
                 assert kind in ALL_KINDS, (name, kind)
 
     def test_registry_covers_every_layer(self):
-        for layer in ("hw", "romulus", "sgx", "crypto", "distributed"):
+        for layer in ("hw", "romulus", "sgx", "crypto", "distributed",
+                      "serving"):
             assert sites_for_layer(layer), layer
 
     def test_crashable_sites_nonempty_and_consistent(self):

@@ -114,7 +114,11 @@ class TestExhaustiveAcceptance:
         report = explore(ExploreConfig(exhaustive=True, seed=0))
         assert report.ok, report.render_text()
         assert report.crash_points >= 50
-        assert {w.name for w in report.workloads} == {"train", "link"}
+        assert {w.name for w in report.workloads} == {
+            "train",
+            "link",
+            "serve",
+        }
 
     @pytest.mark.parametrize("mutant", sorted(MUTANTS))
     def test_every_mutant_is_detected(self, mutant):
