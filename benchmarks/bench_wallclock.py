@@ -59,6 +59,27 @@ def _print_report(report) -> None:
             ],
         )
     )
+    fw = report.forward
+    print("\nInference kernels (per-request loop vs. batched, arena on/off):")
+    print(
+        format_table(
+            [
+                "batch", "per-req ms", "batched ms", "speedup",
+                "fresh-arena ms", "arena x",
+            ],
+            [
+                [
+                    p.batch,
+                    f"{p.per_request_seconds * 1e3:.2f}",
+                    f"{p.batched_seconds * 1e3:.2f}",
+                    f"{p.speedup:.2f}",
+                    f"{p.fresh_arena_seconds * 1e3:.2f}",
+                    f"{p.arena_speedup:.2f}",
+                ]
+                for p in fw.points
+            ],
+        )
+    )
     im = report.im2col
     ti = report.train_iteration
     print("\nim2col + train iteration (5-conv MNIST config):")
@@ -134,6 +155,8 @@ def main(argv=None) -> int:
             f"(target {criteria['mirror_out_speedup_target']}), "
             f"im2col x{criteria['im2col_speedup']} "
             f"(target {criteria['im2col_speedup_target']}), "
+            f"forward@32 x{criteria['forward_batch32_speedup']} "
+            f"(target {criteria['forward_batch32_speedup_target']}), "
             f"mirrors identical: {criteria['mirrors_identical']}"
         )
     shutdown_executors()

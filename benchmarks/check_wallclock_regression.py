@@ -83,9 +83,10 @@ def check(baseline: dict, report: dict, tolerance: float) -> list:
     criteria = report.get("criteria", {})
     micro_floors = {
         "im2col": criteria.get("im2col_speedup_target"),
+        "forward": criteria.get("forward_batch32_speedup_target"),
         "train_iteration": None,
     }
-    for section in ("im2col", "train_iteration"):
+    for section in ("im2col", "forward", "train_iteration"):
         got = report.get(section, {}).get("speedup")
         if got is None:
             continue

@@ -137,6 +137,7 @@ UNTRUSTED_MODULES: Tuple[str, ...] = (
     "repro.analysis.lint.rules_pm",
     "repro.analysis.lint.rules_sec",
     "repro.analysis.lint.rules_det",
+    "repro.analysis.lint.rules_alloc",
     "repro.analysis.lint.rules_lck",
     "repro.analysis.lint.rules_flt",
     "repro.analysis.lint.reporters",
@@ -224,6 +225,31 @@ SEEDED_CONSTRUCTORS: FrozenSet[str] = frozenset(
 )
 
 # ----------------------------------------------------------------------
+# ALLOC001 — allocation-free serve hot path
+# ----------------------------------------------------------------------
+
+#: Modules whose steady state must not allocate numpy arrays: the
+#: batched serve path and the arena that backs it.  Everything they
+#: touch after warmup is an arena view; the arena's own miss path is
+#: the sanctioned setup-time exception and carries per-line rationales.
+HOT_PATH_MODULES: Tuple[str, ...] = (
+    "repro.core.serving",
+    "repro.darknet.arena",
+)
+
+#: Numpy constructors that allocate a fresh array.  ``frombuffer`` and
+#: ``reshape``/``view`` are deliberately absent — they alias existing
+#: storage, which is exactly what the zero-copy path is built from.
+NUMPY_ALLOCATOR_CALLS: FrozenSet[str] = frozenset(
+    {f"numpy.{name}" for name in (
+        "zeros", "empty", "ones", "full",
+        "zeros_like", "empty_like", "ones_like", "full_like",
+        "concatenate", "stack", "vstack", "hstack", "dstack",
+        "pad", "tile", "repeat", "array", "copy",
+    )}
+)
+
+# ----------------------------------------------------------------------
 # LCK001 — lock-guarded fields
 # ----------------------------------------------------------------------
 
@@ -257,6 +283,7 @@ class LintConfig:
     enclave_only_names: FrozenSet[str] = ENCLAVE_ONLY_NAMES
     untrusted_modules: Tuple[str, ...] = UNTRUSTED_MODULES
     det_exempt_prefixes: Tuple[str, ...] = DET_EXEMPT_PREFIXES
+    hot_path_modules: Tuple[str, ...] = HOT_PATH_MODULES
 
     # ------------------------------------------------------------------
     def is_pm_protocol_module(self, module: str) -> bool:
@@ -270,6 +297,10 @@ class LintConfig:
 
     def is_untrusted(self, module: str) -> bool:
         return module in self.untrusted_modules
+
+    def is_hot_path(self, module: str) -> bool:
+        """Whether ALLOC001 applies: the allocation-free serve path."""
+        return module in self.hot_path_modules
 
     def is_det_governed(self, module: str) -> bool:
         """Whether DET001 applies: every module except the wall-clock

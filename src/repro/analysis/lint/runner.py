@@ -20,6 +20,7 @@ from repro.analysis.lint.framework import (
     Severity,
     suppression_findings,
 )
+from repro.analysis.lint.rules_alloc import HotPathAllocationRule
 from repro.analysis.lint.rules_det import SimtimeDeterminismRule
 from repro.analysis.lint.rules_flt import FaultSiteRegistryRule
 from repro.analysis.lint.rules_lck import LockDisciplineRule
@@ -37,6 +38,7 @@ def default_rules(config: LintConfig = DEFAULT_CONFIG) -> List[Rule]:
         SealBeforePersistRule(config),
         EnclaveBoundaryRule(config),
         SimtimeDeterminismRule(config),
+        HotPathAllocationRule(config),
         LockDisciplineRule(config),
         FaultSiteRegistryRule(config),
     ]

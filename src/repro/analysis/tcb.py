@@ -36,6 +36,7 @@ TRUSTED_MODULES = (
     "repro.darknet.layers.dropout",
     "repro.darknet.layers.softmax",
     "repro.darknet.network",
+    "repro.darknet.arena",
     "repro.darknet.train",
     "repro.darknet.inference",
     "repro.darknet.weights",
@@ -99,6 +100,7 @@ UNTRUSTED_MODULES = (
     "repro.analysis.lint.rules_pm",
     "repro.analysis.lint.rules_sec",
     "repro.analysis.lint.rules_det",
+    "repro.analysis.lint.rules_alloc",
     "repro.analysis.lint.rules_lck",
     "repro.analysis.lint.rules_flt",
     "repro.analysis.lint.reporters",

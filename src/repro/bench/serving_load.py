@@ -39,7 +39,11 @@ from repro.serving import (
 
 #: Gate enforced by ``benchmarks/check_wallclock_regression.py``:
 #: batching at 16 must win at least this factor over sequential.
-BATCH16_SPEEDUP_TARGET = 3.0
+#: History: 3.0 with per-request forwards (amortized entry/crypto cost
+#: only, measured 7.71x); raised past that once the compute core
+#: batched its kernels and the once-per-batch ``forward_setup`` moved
+#: out of the per-request constant (measured 9.63x at batch 16).
+BATCH16_SPEEDUP_TARGET = 9.0
 
 #: Scaling 1 -> N replicas at a fixed batch size must multiply
 #: throughput by at least this factor (for N >= 2).

@@ -50,7 +50,13 @@ SMOKE_LAYER_COUNTS = (1,)
 BASELINE_FILENAME = "BENCH_wallclock.json"
 #: v2 adds per-phase sim+wall splits (``mirror[*].phases``) derived
 #: from a separate traced pass over the parallel configuration.
-SCHEMA_VERSION = 2
+#: v3 adds the ``forward`` section: batched vs per-request inference
+#: kernels at batch 1/8/32, with and without arena reuse.
+SCHEMA_VERSION = 3
+
+#: The CI-gated floor: batched forward at batch 32 must beat a loop of
+#: single-sample forwards by at least this factor.
+FORWARD_BATCH32_SPEEDUP_TARGET = 3.0
 
 
 def _best_of(repeats: int, fn: Callable[[], None]) -> float:
@@ -289,6 +295,108 @@ def measure_im2col_wallclock(
 
 
 # ----------------------------------------------------------------------
+# Batched inference kernels
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ForwardBatchPoint:
+    """Per-request vs. batched inference at one batch size."""
+
+    batch: int
+    iters: int
+    #: Loop of ``batch`` single-sample ``predict`` calls (the seed
+    #: serving tier's execution shape).
+    per_request_seconds: float
+    #: One ``Network.infer`` over the whole batch, warm arena.
+    batched_seconds: float
+    #: One ``Network.infer`` with a fresh arena every call — isolates
+    #: what buffer reuse (vs. kernel batching) contributes.
+    fresh_arena_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        return self.per_request_seconds / self.batched_seconds
+
+    @property
+    def arena_speedup(self) -> float:
+        return self.fresh_arena_seconds / self.batched_seconds
+
+
+@dataclass(frozen=True)
+class ForwardWallclock:
+    """Batched-kernel micro-benchmark on the 5-conv MNIST config."""
+
+    n_conv_layers: int
+    filters: int
+    repeats: int
+    points: List[ForwardBatchPoint]
+
+    @property
+    def speedup(self) -> float:
+        """Batched vs. per-request at the largest batch (the CI gate)."""
+        largest = max(self.points, key=lambda p: p.batch)
+        return largest.speedup
+
+
+def measure_forward_wallclock(
+    n_conv_layers: int = 5,
+    filters: int = 16,
+    batches: Sequence[int] = (1, 8, 32),
+    iters: int = 4,
+    repeats: int = 3,
+    seed: int = 5,
+) -> ForwardWallclock:
+    """Time per-request vs. batched inference, arena warm and cold."""
+    from repro.darknet.arena import TensorArena
+
+    network = build_mnist_cnn(
+        n_conv_layers=n_conv_layers,
+        filters=filters,
+        batch=max(batches),
+        rng=np.random.default_rng(seed),
+    )
+    rng = np.random.default_rng(seed)
+    x = rng.random((max(batches), 1, 28, 28)).astype(np.float32)
+
+    points = []
+    for batch in batches:
+        xb = x[:batch]
+        singles = [x[i : i + 1] for i in range(batch)]
+
+        def per_request() -> None:
+            for _ in range(iters):
+                for sample in singles:
+                    network.predict(sample)
+
+        arena = TensorArena()
+        network.infer(xb, arena)  # size the arena outside the timing
+
+        def batched() -> None:
+            for _ in range(iters):
+                network.infer(xb, arena)
+
+        def fresh_arena() -> None:
+            for _ in range(iters):
+                network.infer(xb, TensorArena())
+
+        per_request()  # warmup (im2col index cache etc.)
+        points.append(
+            ForwardBatchPoint(
+                batch=batch,
+                iters=iters,
+                per_request_seconds=_best_of(repeats, per_request),
+                batched_seconds=_best_of(repeats, batched),
+                fresh_arena_seconds=_best_of(repeats, fresh_arena),
+            )
+        )
+    return ForwardWallclock(
+        n_conv_layers=n_conv_layers,
+        filters=filters,
+        repeats=repeats,
+        points=points,
+    )
+
+
+# ----------------------------------------------------------------------
 # Full train iteration
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -389,6 +497,7 @@ class WallclockReport:
     crypto_threads: int
     mirror: List[MirrorWallclock]
     im2col: Im2colWallclock
+    forward: ForwardWallclock
     train_iteration: TrainIterationWallclock
 
     @property
@@ -422,6 +531,20 @@ class WallclockReport:
                 **asdict(self.im2col),
                 "speedup": round(self.im2col.speedup, 3),
             },
+            "forward": {
+                "n_conv_layers": self.forward.n_conv_layers,
+                "filters": self.forward.filters,
+                "repeats": self.forward.repeats,
+                "points": [
+                    {
+                        **asdict(p),
+                        "speedup": round(p.speedup, 3),
+                        "arena_speedup": round(p.arena_speedup, 3),
+                    }
+                    for p in self.forward.points
+                ],
+                "speedup": round(self.forward.speedup, 3),
+            },
             "train_iteration": {
                 **asdict(self.train_iteration),
                 "speedup": round(self.train_iteration.speedup, 3),
@@ -433,6 +556,8 @@ class WallclockReport:
             "mirror_out_speedup_target": 1.5,
             "im2col_speedup": round(self.im2col.speedup, 3),
             "im2col_speedup_target": 1.3,
+            "forward_batch32_speedup": round(self.forward.speedup, 3),
+            "forward_batch32_speedup_target": FORWARD_BATCH32_SPEEDUP_TARGET,
             "mirrors_identical": all(r.mirrors_identical for r in self.mirror),
         }
         return payload
@@ -463,6 +588,11 @@ def run_wallclock(
     im2col = measure_im2col_wallclock(
         iters=2 if smoke else 4, repeats=1 if smoke else 3
     )
+    # The forward section is cheap (~1.5 s) and its speedup ratio gates
+    # CI, so it runs at full iters/repeats even under --smoke: a
+    # single-repeat measurement on a loaded runner wobbles around the
+    # 3.0x floor.
+    forward = measure_forward_wallclock(iters=4, repeats=3)
     train_iteration = measure_train_iteration_wallclock(
         iters=1 if smoke else 2,
         repeats=1 if smoke else 2,
@@ -475,6 +605,7 @@ def run_wallclock(
         crypto_threads=threads,
         mirror=mirror,
         im2col=im2col,
+        forward=forward,
         train_iteration=train_iteration,
     )
 

@@ -23,6 +23,7 @@ Two session flavours coexist:
 
 from __future__ import annotations
 
+import contextlib
 import struct
 import threading
 from dataclasses import dataclass
@@ -31,6 +32,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.mirror import MirrorModule
+from repro.crypto.engine import SEAL_OVERHEAD
+from repro.darknet.arena import TensorArena
 from repro.darknet.network import Network
 from repro.sgx.attestation import (
     InferenceSession,
@@ -83,6 +86,11 @@ class SecureInferenceService:
         self._lock = threading.Lock()
         self._channel: Optional[SecureChannel] = None
         self._sessions: Dict[int, InferenceSession] = {}
+        #: Preallocated buffers for the batched serve path: request
+        #: staging, the stacked input tensor, every layer activation,
+        #: and the prediction vector.  Sized on first use, reused on
+        #: every subsequent batch — steady state allocates nothing.
+        self._arena = TensorArena()
 
     @classmethod
     def from_mirror(
@@ -209,21 +217,107 @@ class SecureInferenceService:
     def handle_batch(self, items: Sequence[BatchItem]) -> List[bytes]:
         """Classify a coalesced batch of sealed requests in one entry.
 
+        Three phases, each a ``serve.*`` span:
+
+        * **stack** — every sealed request is decrypted straight into an
+          arena staging buffer (:meth:`InferenceSession.open_request_into`,
+          no intermediate ``bytes``) and its samples land in one stacked
+          ``(N, C, H, W)`` tensor;
+        * **forward** — one batched pass (:meth:`Network.infer`): one
+          im2col and one GEMM call per conv layer, one GEMM per
+          connected layer, all operands arena-owned;
+        * **scatter** — per-request slices of the prediction vector are
+          sealed in arrival order, each straight from the output buffer.
+
         Responses are sealed under each request's own session with the
-        nonce derived from ``(session, seq)``, so the returned bytes are
-        independent of how the gateway split requests into batches and
-        of which replica ran the batch — exactly the bytes the
-        sequential seed service would have produced.
+        nonce derived from ``(session, seq)``, and the batched kernels
+        are bitwise-identical per sample to the sequential forward, so
+        the returned bytes are independent of how the gateway split
+        requests into batches and of which replica ran the batch —
+        exactly the bytes the sequential seed service would have
+        produced.
         """
-        responses: List[bytes] = []
-        samples = 0
-        for session_id, seq, sealed in items:
-            session = self._session(session_id)
-            x = self._decode(session.open_request(seq, sealed))
-            predictions = self._predict(x)
-            samples += len(x)
-            responses.append(session.seal_response(seq, predictions.tobytes()))
-        self._record(requests=len(items), samples=samples, batches=1)
+        if not items:
+            return []
+        recorder = self.enclave.clock.recorder
+        clock = self.enclave.clock
+        arena = self._arena
+        hits0, misses0 = arena.stats.hits, arena.stats.misses
+
+        def span(name: str):
+            if recorder.enabled:
+                return recorder.span(name, clock, category="serve")
+            return contextlib.nullcontext()
+
+        features = int(np.prod(self.input_shape))
+        header = _REQUEST.size
+        sample_bytes = features * 4  # float32 payload
+
+        with span("serve.stack"):
+            # Plaintext sizes are sealed sizes minus the AEAD overhead,
+            # so the batch tensor is sized before any decryption.
+            sessions = []
+            counts = []
+            total = 0
+            max_plain = 0
+            for session_id, _seq, sealed in items:
+                plain = len(sealed) - SEAL_OVERHEAD
+                n, rem = divmod(plain - header, sample_bytes)
+                if plain < header or rem or n < 0:
+                    raise ValueError(
+                        f"sealed request of {len(sealed)} bytes does not "
+                        f"hold whole {features}-feature samples"
+                    )
+                sessions.append(self._session(session_id))
+                counts.append(n)
+                total += n
+                max_plain = max(max_plain, plain)
+
+            x = arena.take("serve.x", (total,) + tuple(self.input_shape))
+            flat = x.reshape(total, features)
+            staging = arena.take("serve.staging", (max_plain,), np.uint8)
+            offset = 0
+            for (_, seq, sealed), session, n in zip(items, sessions, counts):
+                plain = len(sealed) - SEAL_OVERHEAD
+                buf = staging[:plain]
+                session.open_request_into(seq, sealed, buf.data)
+                got_n, got_features = _REQUEST.unpack_from(buf.data, 0)
+                if got_features != features:
+                    raise ValueError(
+                        f"request has {got_features} features; "
+                        f"model expects {features}"
+                    )
+                if got_n != n:
+                    raise ValueError(
+                        f"request header claims {got_n} samples, "
+                        f"payload holds {n}"
+                    )
+                flat[offset : offset + n] = (
+                    buf[header : header + n * sample_bytes]
+                    .view(np.float32)
+                    .reshape(n, features)
+                )
+                offset += n
+
+        with span("serve.forward"):
+            predictions = arena.take("serve.preds", (total,), np.int64)
+            if total:
+                probs = self.network.infer(x, arena)
+                np.argmax(probs, axis=1, out=predictions)
+
+        with span("serve.scatter"):
+            responses: List[bytes] = []
+            offset = 0
+            for (_, seq, _), session, n in zip(items, sessions, counts):
+                payload = predictions[offset : offset + n].view(np.uint8)
+                responses.append(session.seal_response(seq, payload.data))
+                offset += n
+
+        self._record(requests=len(items), samples=total, batches=1)
+        if recorder.enabled:
+            recorder.count("arena.hit", arena.stats.hits - hits0)
+            recorder.count("arena.miss", arena.stats.misses - misses0)
+            recorder.gauge("arena.bytes", arena.stats.bytes_allocated)
         return responses
 
 

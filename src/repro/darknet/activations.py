@@ -2,6 +2,16 @@
 
 The paper's models use *leaky rectified linear units* (LReLU) in every
 convolutional layer; Darknet's ``leaky`` uses a fixed slope of 0.1.
+
+Each activation carries two forward implementations:
+
+* ``forward`` — the allocating reference used by training;
+* ``forward_into`` — an arena-backed variant used by the batched serve
+  path.  It receives the pre-activation tensor and a workspace and must
+  produce **bitwise-identical** values to ``forward`` while allocating
+  nothing: every in-place formulation below is the same ufunc sequence
+  as its reference (multiplication and addition are exactly commutative
+  in IEEE 754, and ``out=`` never changes a ufunc's rounding).
 """
 
 from __future__ import annotations
@@ -12,6 +22,8 @@ from typing import Callable, Dict
 import numpy as np
 
 ArrayFn = Callable[[np.ndarray], np.ndarray]
+#: (pre_activation, workspace) -> activated tensor; may write in place.
+InplaceFn = Callable[[np.ndarray, object], np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -26,10 +38,22 @@ class Activation:
     name: str
     forward: ArrayFn
     gradient: ArrayFn
+    forward_into: InplaceFn
 
 
 def _leaky_forward(x: np.ndarray) -> np.ndarray:
     return np.where(x > 0, x, 0.1 * x)
+
+
+def _leaky_forward_into(x: np.ndarray, ws) -> np.ndarray:
+    # Same arithmetic as np.where(x > 0, x, 0.1 * x): scale everything,
+    # then restore the positive entries verbatim.
+    mask = ws.take("act.mask", x.shape, np.bool_)
+    np.greater(x, 0, out=mask)
+    out = ws.take("act.out", x.shape, x.dtype)
+    np.multiply(x, 0.1, out=out)
+    np.copyto(out, x, where=mask)
+    return out
 
 
 def _leaky_gradient(y: np.ndarray) -> np.ndarray:
@@ -40,11 +64,20 @@ def _relu_forward(x: np.ndarray) -> np.ndarray:
     return np.maximum(x, 0)
 
 
+def _relu_forward_into(x: np.ndarray, ws) -> np.ndarray:
+    np.maximum(x, 0, out=x)
+    return x
+
+
 def _relu_gradient(y: np.ndarray) -> np.ndarray:
     return (y > 0).astype(y.dtype)
 
 
 def _linear_forward(x: np.ndarray) -> np.ndarray:
+    return x
+
+
+def _linear_forward_into(x: np.ndarray, ws) -> np.ndarray:
     return x
 
 
@@ -56,12 +89,25 @@ def _logistic_forward(x: np.ndarray) -> np.ndarray:
     return 1.0 / (1.0 + np.exp(-x))
 
 
+def _logistic_forward_into(x: np.ndarray, ws) -> np.ndarray:
+    np.negative(x, out=x)
+    np.exp(x, out=x)
+    np.add(x, 1.0, out=x)
+    np.divide(1.0, x, out=x)
+    return x
+
+
 def _logistic_gradient(y: np.ndarray) -> np.ndarray:
     return y * (1.0 - y)
 
 
 def _tanh_forward(x: np.ndarray) -> np.ndarray:
     return np.tanh(x)
+
+
+def _tanh_forward_into(x: np.ndarray, ws) -> np.ndarray:
+    np.tanh(x, out=x)
+    return x
 
 
 def _tanh_gradient(y: np.ndarray) -> np.ndarray:
@@ -71,11 +117,13 @@ def _tanh_gradient(y: np.ndarray) -> np.ndarray:
 _ACTIVATIONS: Dict[str, Activation] = {
     a.name: a
     for a in (
-        Activation("leaky", _leaky_forward, _leaky_gradient),
-        Activation("relu", _relu_forward, _relu_gradient),
-        Activation("linear", _linear_forward, _linear_gradient),
-        Activation("logistic", _logistic_forward, _logistic_gradient),
-        Activation("tanh", _tanh_forward, _tanh_gradient),
+        Activation("leaky", _leaky_forward, _leaky_gradient, _leaky_forward_into),
+        Activation("relu", _relu_forward, _relu_gradient, _relu_forward_into),
+        Activation("linear", _linear_forward, _linear_gradient, _linear_forward_into),
+        Activation(
+            "logistic", _logistic_forward, _logistic_gradient, _logistic_forward_into
+        ),
+        Activation("tanh", _tanh_forward, _tanh_gradient, _tanh_forward_into),
     )
 }
 

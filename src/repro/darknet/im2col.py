@@ -128,6 +128,30 @@ def _im2col_strided(
     )
 
 
+def im2col_batched_into(
+    padded: np.ndarray, kernel: int, stride: int, cols: np.ndarray
+) -> np.ndarray:
+    """Unroll pre-padded images into a **sample-major** column tensor.
+
+    Writes ``(N, C*k*k, OH*OW)`` into ``cols`` (an arena buffer) and
+    returns it.  Per sample, ``cols[i]`` holds exactly the columns
+    :func:`im2col` would produce for that sample alone — the layout just
+    keeps samples contiguous instead of interleaving them, so a 3-D
+    ``np.matmul`` can run one GEMM per sample inside a single call (the
+    serve path's bitwise-reproducibility requirement).  Allocation-free:
+    the only copy is the write into ``cols``.
+    """
+    windows = np.lib.stride_tricks.sliding_window_view(
+        padded, (kernel, kernel), axis=(2, 3)
+    )
+    if stride > 1:
+        windows = windows[:, :, ::stride, ::stride]
+    n, c, out_h, out_w = windows.shape[:4]
+    cols6 = cols.reshape(n, c, kernel, kernel, out_h, out_w)
+    cols6[...] = windows.transpose(0, 1, 4, 5, 2, 3)
+    return cols
+
+
 def im2col(
     images: np.ndarray, kernel: int, stride: int, pad: int
 ) -> np.ndarray:

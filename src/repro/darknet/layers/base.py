@@ -40,6 +40,18 @@ class Layer(abc.ABC):
     def backward(self, delta: np.ndarray) -> np.ndarray:
         """Back-propagate ``delta``; accumulates parameter gradients."""
 
+    def infer(self, x: np.ndarray, ws) -> np.ndarray:
+        """Inference forward using workspace (arena) buffers.
+
+        Contract: per-sample output is **bitwise identical** to
+        ``forward(x, train=False)`` on that sample alone, independent of
+        the batch size — the serving tier relies on this to coalesce
+        requests without changing any sealed response byte.  The hot
+        layers override this with allocation-free batched kernels; the
+        default falls back to the reference path.
+        """
+        return self.forward(x, train=False)
+
     def trainable(self) -> List[ParamPair]:
         """(parameter, gradient) pairs for the optimizer."""
         return []

@@ -48,10 +48,32 @@ class ConnectedLayer(Layer):
                 f"connected layer expects {self.inputs} inputs, "
                 f"got {flat.shape[1]}"
             )
-        self._x = flat
         out = self.activation.forward(flat @ self.weights.T + self.biases)
-        self._output = out
+        if train:
+            self._x = flat
+            self._output = out
         return out
+
+    def infer(self, x: np.ndarray, ws) -> np.ndarray:
+        """Batched dense kernel: one 3-D GEMM call, workspace-backed.
+
+        The batch axis of ``np.matmul`` is the sample axis, so each
+        sample multiplies with batch-of-one operand shapes and the
+        result is bitwise identical to ``forward(train=False)`` on that
+        sample regardless of how many ride in the batch.
+        """
+        n = x.shape[0]
+        flat = x.reshape(n, -1)
+        if flat.shape[1] != self.inputs:
+            raise ValueError(
+                f"connected layer expects {self.inputs} inputs, "
+                f"got {flat.shape[1]}"
+            )
+        out3 = ws.take("out", (n, 1, self.outputs), flat.dtype)
+        np.matmul(flat[:, None, :], self.weights.T, out=out3)
+        out = out3.reshape(n, self.outputs)
+        np.add(out, self.biases, out=out)
+        return self.activation.forward_into(out, ws)
 
     def backward(self, delta: np.ndarray) -> np.ndarray:
         assert self._x is not None and self._output is not None

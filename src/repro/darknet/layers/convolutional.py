@@ -14,7 +14,12 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.darknet.activations import get_activation
-from repro.darknet.im2col import col2im, conv_output_size, im2col
+from repro.darknet.im2col import (
+    col2im,
+    conv_output_size,
+    im2col,
+    im2col_batched_into,
+)
 from repro.darknet.layers.base import Layer, NamedBuffer, ParamPair
 
 _BN_EPSILON = 1e-5
@@ -78,22 +83,67 @@ class ConvolutionalLayer(Layer):
     # ------------------------------------------------------------------
     def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
         n = x.shape[0]
-        self._x_shape = x.shape
         cols = im2col(x, self.kernel, self.stride, self.pad)
-        self._cols = cols
         f, out_h, out_w = self.out_shape
         raw = (self.weights @ cols).reshape(f, out_h, out_w, n)
         raw = raw.transpose(3, 0, 1, 2)  # (N, F, OH, OW)
 
         if self.batch_normalize:
             raw = self._batchnorm_forward(raw, train)
-            raw = raw + self.biases.reshape(1, -1, 1, 1)
-        else:
-            raw = raw + self.biases.reshape(1, -1, 1, 1)
-        self._pre_activation = raw
+        raw = raw + self.biases.reshape(1, -1, 1, 1)
         out = self.activation.forward(raw)
-        self._output = out
+        if train:
+            # Backward caches only exist while training: an inference
+            # stream must not pin ever-fresh arrays on the layer.
+            self._x_shape = x.shape
+            self._cols = cols
+            self._pre_activation = raw
+            self._output = out
         return out
+
+    def infer(self, x: np.ndarray, ws) -> np.ndarray:
+        """Batched inference kernel: one im2col, one GEMM call.
+
+        The GEMM runs as a single 3-D ``np.matmul`` whose batch axis is
+        the sample axis, so each sample's product has the exact operand
+        shapes of a batch-of-one forward — per-sample results are
+        bitwise identical to ``forward(train=False)`` on that sample,
+        unlike a fused GEMM over ``N*OH*OW`` columns whose BLAS
+        blocking (and therefore rounding) depends on ``N``.  All
+        operands live in the workspace; steady state allocates nothing.
+        """
+        n = x.shape[0]
+        c, h, w = self.in_shape
+        k, stride, pad = self.kernel, self.stride, self.pad
+        f, out_h, out_w = self.out_shape
+
+        if pad:
+            padded = ws.take(
+                "padded", (n, c, h + 2 * pad, w + 2 * pad), x.dtype,
+                zero_fill=True,
+            )
+            padded[:, :, pad : pad + h, pad : pad + w] = x
+        else:
+            padded = x
+        cols = ws.take("cols", (n, c * k * k, out_h * out_w), x.dtype)
+        im2col_batched_into(padded, k, stride, cols)
+
+        raw3 = ws.take("raw", (n, f, out_h * out_w), x.dtype)
+        np.matmul(self.weights, cols, out=raw3)
+        raw = raw3.reshape(n, f, out_h, out_w)
+
+        if self.batch_normalize:
+            # Rolling statistics are rewritten in place by hot reloads,
+            # so inv_std is derived per batch, never cached.
+            inv_std = ws.take("inv_std", (f,), x.dtype)
+            np.add(self.rolling_variance, _BN_EPSILON, out=inv_std)
+            np.sqrt(inv_std, out=inv_std)
+            np.divide(1.0, inv_std, out=inv_std)
+            np.subtract(raw, self.rolling_mean.reshape(1, -1, 1, 1), out=raw)
+            np.multiply(raw, inv_std.reshape(1, -1, 1, 1), out=raw)
+            np.multiply(self.scales.reshape(1, -1, 1, 1), raw, out=raw)
+        np.add(raw, self.biases.reshape(1, -1, 1, 1), out=raw)
+        return self.activation.forward_into(raw, ws)
 
     def backward(self, delta: np.ndarray) -> np.ndarray:
         assert self._cols is not None and self._output is not None

@@ -37,6 +37,9 @@ class DropoutLayer(Layer):
         self._mask = mask.astype(x.dtype)
         return x * self._mask
 
+    def infer(self, x: np.ndarray, ws) -> np.ndarray:
+        return x
+
     def backward(self, delta: np.ndarray) -> np.ndarray:
         if self._mask is None:
             return delta

@@ -32,7 +32,6 @@ class MaxPoolLayer(Layer):
     def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
         _, out_h, out_w = self.out_shape
         s, st = self.size, self.stride
-        self._x_shape = x.shape
 
         out: Optional[np.ndarray] = None
         argmax: Optional[np.ndarray] = None
@@ -43,13 +42,66 @@ class MaxPoolLayer(Layer):
             ]
             if out is None:
                 out = window.copy()
-                argmax = np.zeros(window.shape, dtype=np.int32)
+                if train:
+                    argmax = np.zeros(window.shape, dtype=np.int32)
             else:
                 mask = window > out
                 np.copyto(out, window, where=mask)
-                np.copyto(argmax, idx, where=mask)
-        assert out is not None and argmax is not None
-        self._argmax = argmax
+                if train:
+                    np.copyto(argmax, idx, where=mask)
+        assert out is not None
+        if train:
+            self._x_shape = x.shape
+            self._argmax = argmax
+        return out
+
+    def infer(self, x: np.ndarray, ws) -> np.ndarray:
+        """Workspace-backed max pooling; elementwise per output cell, so
+        any batch size is trivially bitwise-equal to the per-sample
+        reference.
+
+        Non-overlapping tilings (``size == stride``, the paper's
+        configs) take a contiguous-reshape fast path: two single-axis
+        ``np.max`` reductions (columns within each row, then rows).
+        Keep-first ``np.maximum`` is associative — any reduction order
+        selects the same element, bit for bit — and its ``>=`` tie
+        behavior matches the reference loop's strict-``>``
+        keep-accumulator, so values are identical while the memory walk
+        stays sequential instead of strided.
+        """
+        n = x.shape[0]
+        _, out_h, out_w = self.out_shape
+        s, st = self.size, self.stride
+        out = ws.take("out", (n,) + self.out_shape, x.dtype)
+        c = self.out_shape[0]
+        if (
+            s == st
+            and x.shape[2] == out_h * s
+            and x.shape[3] == out_w * s
+            and x.flags.c_contiguous
+        ):
+            h = x.shape[2]
+            colmax = ws.take("colmax", (n, c, h, out_w), x.dtype)
+            tiles = x.reshape(n, c, h, out_w, s)
+            np.copyto(colmax, tiles[..., 0])
+            for j in range(1, s):
+                np.maximum(colmax, tiles[..., j], out=colmax)
+            rows = colmax.reshape(n, c, out_h, s, out_w)
+            np.copyto(out, rows[:, :, :, 0, :])
+            for i in range(1, s):
+                np.maximum(out, rows[:, :, :, i, :], out=out)
+            return out
+        mask = ws.take("mask", out.shape, np.bool_)
+        for idx in range(s * s):
+            di, dj = divmod(idx, s)
+            window = x[
+                :, :, di : di + st * out_h : st, dj : dj + st * out_w : st
+            ]
+            if idx == 0:
+                np.copyto(out, window)
+            else:
+                np.greater(window, out, out=mask)
+                np.copyto(out, window, where=mask)
         return out
 
     def backward(self, delta: np.ndarray) -> np.ndarray:
@@ -79,6 +131,11 @@ class AvgPoolLayer(Layer):
 
     def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
         return x.mean(axis=(2, 3))
+
+    def infer(self, x: np.ndarray, ws) -> np.ndarray:
+        out = ws.take("out", (x.shape[0],) + self.out_shape, x.dtype)
+        np.mean(x, axis=(2, 3), out=out)
+        return out
 
     def backward(self, delta: np.ndarray) -> np.ndarray:
         c, h, w = self.in_shape

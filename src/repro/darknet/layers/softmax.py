@@ -31,7 +31,26 @@ class SoftmaxLayer(Layer):
         shifted = flat - flat.max(axis=1, keepdims=True)
         exp = np.exp(shifted)
         probs = exp / exp.sum(axis=1, keepdims=True)
-        self._probs = probs
+        if train:
+            # Only loss()/backward() need the cache; an inference stream
+            # must not pin the last batch's probabilities.
+            self._probs = probs
+        return probs
+
+    def infer(self, x: np.ndarray, ws) -> np.ndarray:
+        """Workspace-backed softmax: same ufunc sequence as ``forward``
+        (row-wise max-shift, exp, row-sum normalize), so per-sample
+        outputs are bitwise identical at any batch size."""
+        n = x.shape[0]
+        flat = x.reshape(n, -1)
+        m = ws.take("max", (n, 1), flat.dtype)
+        np.amax(flat, axis=1, keepdims=True, out=m)
+        probs = ws.take("probs", (n, flat.shape[1]), flat.dtype)
+        np.subtract(flat, m, out=probs)
+        np.exp(probs, out=probs)
+        total = ws.take("sum", (n, 1), flat.dtype)
+        np.sum(probs, axis=1, keepdims=True, out=total)
+        np.divide(probs, total, out=probs)
         return probs
 
     def loss(self, truth: np.ndarray) -> float:

@@ -134,3 +134,17 @@ class Network:
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Class probabilities for a batch (inference mode)."""
         return self.forward(x, train=False)
+
+    def infer(self, x: np.ndarray, arena) -> np.ndarray:
+        """Batched, allocation-free inference into ``arena`` buffers.
+
+        Per-sample outputs are bitwise identical to :meth:`predict` on
+        that sample alone (each layer's ``infer`` contract), so the
+        serving tier can coalesce requests into one forward pass without
+        changing a single response byte.  The returned array is an arena
+        view — valid until the next ``infer`` call on the same arena.
+        """
+        out = x
+        for index, layer in enumerate(self.layers):
+            out = layer.infer(out, arena.workspace(index))
+        return out

@@ -365,7 +365,15 @@ class InferenceGateway:
     def _batch_cost(
         self, batch: List[PendingRequest], replica: ServingReplica
     ) -> float:
-        """Simulated in-enclave service time of one coalesced batch."""
+        """Simulated in-enclave service time of one coalesced batch.
+
+        Mirrors the real replica's :meth:`handle_batch` structure:
+        one enclave entry/exit pair, one amortized decrypt over all
+        request records (stack), one batched forward whose
+        ``forward_setup`` kernel-dispatch term is paid once per batch
+        rather than per request, and one amortized encrypt over the
+        responses (scatter).
+        """
         profile = self.pool.profile
         samples = sum(r.n_samples for r in batch)
         flops_per_sample = (

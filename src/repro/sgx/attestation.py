@@ -168,6 +168,18 @@ class InferenceSession:
     def open_request(self, seq: int, sealed: bytes) -> bytes:
         return self._open(self._DIR_REQUEST, seq, sealed)
 
+    def open_request_into(self, seq: int, sealed: bytes, out) -> int:
+        """Decrypt request ``seq`` straight into ``out``; returns bytes.
+
+        Zero-copy counterpart of :meth:`open_request` for the batched
+        serve path — same AAD binding and MAC check, same GCM caveat as
+        :meth:`~repro.crypto.engine.EncryptionEngine.unseal_from`: on an
+        integrity failure ``out`` holds garbage and must be discarded.
+        """
+        return self.engine.unseal_from(
+            sealed, out, aad=self._aad(self._DIR_REQUEST, seq)
+        )
+
     def seal_response(self, seq: int, payload: bytes) -> bytes:
         return self._seal(self._DIR_RESPONSE, seq, payload)
 

@@ -1,0 +1,17 @@
+# repro: lint-module[repro.core.serving]
+"""ALLOC001 fixture: fresh numpy allocations on the serve hot path."""
+
+import numpy as np
+from numpy import concatenate
+
+
+def stack_requests(chunks):
+    batch = np.zeros((len(chunks), 1, 28, 28), dtype=np.float32)
+    for i, chunk in enumerate(chunks):
+        batch[i] = chunk
+    return batch
+
+
+def scratch_buffers(n, features):
+    cols = np.empty((n, features), dtype=np.float32)
+    return cols, concatenate([cols, cols])

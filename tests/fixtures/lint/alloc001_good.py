@@ -1,0 +1,17 @@
+# repro: lint-module[repro.core.serving]
+"""ALLOC001 fixture: hot-path code built on arena views and aliasing."""
+
+import numpy as np
+
+
+def stack_requests(arena, chunks, shape):
+    batch = arena.take("serve.x", (len(chunks),) + shape)
+    for i, chunk in enumerate(chunks):
+        batch[i] = np.frombuffer(chunk, dtype=np.float32).reshape(shape)
+    return batch
+
+
+def classify(arena, probs):
+    predictions = arena.take("serve.preds", (probs.shape[0],), np.int64)
+    np.argmax(probs, axis=1, out=predictions)
+    return predictions

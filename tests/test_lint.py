@@ -53,6 +53,7 @@ def rule_ids(path: Path):
         ("SEC001", "sec001_bad.py", "sec001_good.py"),
         ("SEC002", "sec002_bad.py", "sec002_good.py"),
         ("DET001", "det001_bad.py", "det001_good.py"),
+        ("ALLOC001", "alloc001_bad.py", "alloc001_good.py"),
         ("LCK001", "lck001_bad.py", "lck001_good.py"),
         ("FLT001", "flt001_bad.py", "flt001_good.py"),
     ],

@@ -128,6 +128,55 @@ def test_any_batching_is_byte_identical_to_sequential(
 
 
 # ----------------------------------------------------------------------
+# The batched kernels themselves: any split, any order, warm or fresh
+# arena — bitwise equal to the sequential per-sample forward.
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def kernel_reference():
+    """Per-sample sequential forward of a fixed pool of images."""
+    from repro.darknet.arena import TensorArena
+
+    net = _factory()
+    pool = np.random.default_rng(SEED + 2).random(
+        (16, 1, 28, 28), dtype=np.float32
+    )
+    reference = np.concatenate(
+        [net.forward(pool[i : i + 1], train=False) for i in range(len(pool))]
+    )
+    return net, pool, reference, TensorArena()
+
+
+@given(
+    indices=st.lists(
+        st.integers(min_value=0, max_value=15), min_size=1, max_size=16
+    ),
+    splits=st.lists(
+        st.integers(min_value=1, max_value=16), min_size=1, max_size=6
+    ),
+)
+@settings(max_examples=25, deadline=None)
+def test_batched_forward_is_bitwise_sequential(kernel_reference, indices, splits):
+    """Samples drawn in any order, chopped into any batch sizes, run
+    through one *reused* arena, match the per-sample reference bit for
+    bit — batching and buffer reuse are both invisible."""
+    from repro.darknet.arena import TensorArena
+
+    net, pool, reference, warm_arena = kernel_reference
+    order = np.array(indices)
+    start = 0
+    for size in splits:
+        chunk = order[start : start + size]
+        if len(chunk) == 0:
+            break
+        start += size
+        x = pool[chunk]
+        reused = net.infer(x, warm_arena)
+        np.testing.assert_array_equal(reused, reference[chunk])
+        fresh = net.infer(x, TensorArena())
+        np.testing.assert_array_equal(fresh, reference[chunk])
+
+
+# ----------------------------------------------------------------------
 # Session isolation.
 # ----------------------------------------------------------------------
 def _sessions():
