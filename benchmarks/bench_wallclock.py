@@ -102,6 +102,21 @@ def _print_report(report) -> None:
             ],
         )
     )
+    fl = report.flight_overhead
+    print("\nFlight-recorder overhead (mirror save+restore cycle):")
+    print(
+        format_table(
+            ["null ms", "flight ms", "overhead %", "ring events"],
+            [
+                [
+                    f"{fl.null_seconds * 1e3:.2f}",
+                    f"{fl.flight_seconds * 1e3:.2f}",
+                    f"{fl.overhead_pct:.3f}",
+                    fl.flight_events,
+                ]
+            ],
+        )
+    )
 
 
 def main(argv=None) -> int:

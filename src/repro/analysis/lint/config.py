@@ -131,6 +131,11 @@ UNTRUSTED_MODULES: Tuple[str, ...] = (
     "repro.obs.recorder",
     "repro.obs.metrics",
     "repro.obs.export",
+    "repro.obs.context",
+    "repro.obs.hist",
+    "repro.obs.slo",
+    "repro.obs.flight",
+    "repro.obs.report",
     "repro.analysis.tcb",
     "repro.analysis.lint.framework",
     "repro.analysis.lint.config",

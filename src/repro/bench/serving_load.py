@@ -30,6 +30,7 @@ import numpy as np
 from repro.core.models import build_mnist_cnn
 from repro.core.serving import InferenceClient
 from repro.core.system import PliniusSystem
+from repro.obs.hist import LogHistogram
 from repro.serving import (
     AdmissionPolicy,
     BatchPolicy,
@@ -63,8 +64,13 @@ class ConfigResult:
     redispatches: int
     #: completed / (last completion - first arrival), in sim req/s.
     throughput: float
+    #: Latency quantiles from the mergeable log2-bucket histogram sketch
+    #: (``repro.obs.hist.LogHistogram``) — each within one bucket
+    #: (a factor of 2) of the exact order statistic, asserted by
+    #: ``tests/test_serving_load.py``.
     p50_latency: float
     p99_latency: float
+    p999_latency: float
     mean_latency: float
     sim_makespan: float
     #: sha256 over the sealed responses in request order — the
@@ -119,6 +125,7 @@ class ServingLoadReport:
                     "throughput_rps": c.throughput,
                     "p50_latency_s": c.p50_latency,
                     "p99_latency_s": c.p99_latency,
+                    "p999_latency_s": c.p999_latency,
                     "mean_latency_s": c.mean_latency,
                     "sim_makespan_s": c.sim_makespan,
                     "responses_digest": c.responses_digest,
@@ -156,8 +163,16 @@ def _run_config(
     max_queue_depth: int,
     max_delay: float,
     n_sessions: int = 2,
+    session_base: int = 0,
 ) -> ConfigResult:
-    """Stand up a fresh deployment and drain one arrival stream."""
+    """Stand up a fresh deployment and drain one arrival stream.
+
+    ``session_base`` offsets the session ids so that each configuration
+    owns a disjoint id range: trace ids are minted as
+    ``f(session, seq)``, so disjoint sessions keep the causal trees of
+    the three configurations separate in a ``--trace`` run — one tree
+    per request, not one tree per (seq, config-collision).
+    """
     system = PliniusSystem.create(server=server, seed=seed, pm_size=8 << 20)
 
     def factory():
@@ -185,14 +200,14 @@ def _run_config(
         AdmissionPolicy(max_queue_depth=max_queue_depth),
     )
     clients: Dict[int, InferenceClient] = {}
-    for sid in range(1, n_sessions + 1):
+    for sid in range(session_base + 1, session_base + n_sessions + 1):
         client = InferenceClient(pool.measurement, seed=sid)
         pool.open_session(client, sid)
         clients[sid] = client
 
     base = system.clock.now()
     for index in range(len(arrivals)):
-        client = clients[1 + index % n_sessions]
+        client = clients[session_base + 1 + index % n_sessions]
         seq, sealed = client.seal_request_seq(images[index : index + 1])
         gateway.submit(
             client.session_id, seq, sealed, 1,
@@ -201,6 +216,8 @@ def _run_config(
     result = gateway.run()
 
     latencies = result.latencies()
+    hist = LogHistogram()
+    hist.record_many(latencies)
     records = sorted(result.responses.values(), key=lambda r: r.request_id)
     first_arrival = base + float(arrivals[0])
     last_completion = max((r.completed for r in records), default=first_arrival)
@@ -217,9 +234,10 @@ def _run_config(
         batches=len(result.batches),
         redispatches=result.redispatches,
         throughput=len(records) / makespan,
-        p50_latency=float(np.percentile(latencies, 50)) if latencies else 0.0,
-        p99_latency=float(np.percentile(latencies, 99)) if latencies else 0.0,
-        mean_latency=float(np.mean(latencies)) if latencies else 0.0,
+        p50_latency=hist.quantile(0.5) if latencies else 0.0,
+        p99_latency=hist.quantile(0.99) if latencies else 0.0,
+        p999_latency=hist.quantile(0.999) if latencies else 0.0,
+        mean_latency=hist.mean() if latencies else 0.0,
         sim_makespan=makespan,
         responses_digest=digest.hexdigest(),
     )
@@ -254,13 +272,15 @@ def run_serving_load(
         max_delay=max_delay,
     )
     sequential = _run_config(
-        "sequential", replicas=1, batch_max=1, **common
+        "sequential", replicas=1, batch_max=1, session_base=0, **common
     )
     batched = _run_config(
-        "batched", replicas=1, batch_max=batch_max, **common
+        "batched", replicas=1, batch_max=batch_max, session_base=100,
+        **common
     )
     scaled = _run_config(
-        "scaled", replicas=replicas, batch_max=batch_max, **common
+        "scaled", replicas=replicas, batch_max=batch_max, session_base=200,
+        **common
     )
     return ServingLoadReport(
         server=server,
@@ -289,11 +309,12 @@ def render_text(report: ServingLoadReport) -> List[str]:
                 f"{c.throughput:,.0f}",
                 f"{c.p50_latency * 1e3:.3f}",
                 f"{c.p99_latency * 1e3:.3f}",
+                f"{c.p999_latency * 1e3:.3f}",
             ]
         )
     table = format_table(
         ["config", "repl x batch", "done", "rej", "batches",
-         "rps (sim)", "p50 ms", "p99 ms"],
+         "rps (sim)", "p50 ms", "p99 ms", "p999 ms"],
         rows,
     )
     lines = table.splitlines()

@@ -200,6 +200,7 @@ def _cmd_crashtest(args: argparse.Namespace) -> int:
         samples=args.samples if args.samples is not None else 32,
         seed=args.seed,
         workloads=tuple(args.workload or ("train", "link", "serve")),
+        flight_dir=args.flight_dir,
     )
     if args.mutate:
         from repro.faults.mutations import apply_mutant
@@ -258,6 +259,34 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import (
+        build_report,
+        load_trace,
+        render_report_json,
+        render_report_text,
+    )
+
+    try:
+        doc = load_trace(args.trace_file)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    report = build_report(doc)
+    rendered = (
+        render_report_json(report)
+        if args.format == "json"
+        else render_report_text(report)
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(rendered)
+        print(f"report written to {args.out}")
+    else:
+        print(rendered, end="")
     return 0
 
 
@@ -385,6 +414,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="text",
         help="report format (json for CI consumers)",
     )
+    crashtest.add_argument(
+        "--flight-dir",
+        metavar="DIR",
+        default=None,
+        help="write each violation's flight-recorder snapshot to "
+        "DIR/flight-<workload>-<n>.json (crash artifacts for CI upload)",
+    )
     crashtest.set_defaults(func=_cmd_crashtest)
 
     serve = sub.add_parser(
@@ -426,6 +462,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_flag(serve)
     serve.set_defaults(func=_cmd_serve_bench)
+
+    report = sub.add_parser(
+        "report",
+        help="summarize a --trace artifact (spans, causal trees, "
+        "histograms, SLO events, flight tail)",
+    )
+    report.add_argument(
+        "trace_file",
+        metavar="TRACE",
+        help="Chrome trace-event JSON written by any command's --trace flag",
+    )
+    report.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="text table or canonical JSON (byte-identical for "
+        "same-seed runs)",
+    )
+    report.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the rendering here instead of stdout",
+    )
+    report.set_defaults(func=_cmd_report)
 
     train = sub.add_parser("train", help="train a CNN with mirroring")
     train.add_argument("--iterations", type=int, default=100)

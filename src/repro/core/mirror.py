@@ -526,6 +526,13 @@ class MirrorModule:
         finally:
             if outer is not None:
                 rec.end(outer, self.clock.now())
+        if rec.enabled:
+            # Mergeable latency histograms of the mirror-out phases —
+            # what the `repro report` percentile tables are built from.
+            rec.observe("mirror.encrypt", encrypt_span.elapsed)
+            rec.observe(
+                "mirror.write", layout_span.elapsed + write_span.elapsed
+            )
         return MirrorTiming(
             crypto_seconds=encrypt_span.elapsed,
             storage_seconds=layout_span.elapsed + write_span.elapsed,
@@ -674,6 +681,9 @@ class MirrorModule:
         finally:
             if outer is not None:
                 rec.end(outer, self.clock.now())
+        if rec.enabled:
+            rec.observe("mirror.read", read_span.elapsed)
+            rec.observe("mirror.decrypt", decrypt_span.elapsed)
         network.iteration = iteration
         return MirrorTiming(
             crypto_seconds=decrypt_span.elapsed,

@@ -35,6 +35,7 @@ from repro.core.mirror import MirrorModule
 from repro.crypto.engine import SEAL_OVERHEAD
 from repro.darknet.arena import TensorArena
 from repro.darknet.network import Network
+from repro.obs.context import TraceContext, trace_scope
 from repro.sgx.attestation import (
     InferenceSession,
     QuotingEnclave,
@@ -197,6 +198,12 @@ class SecureInferenceService:
 
     def install_session(self, session: InferenceSession) -> None:
         """Provision session state attested by a peer replica."""
+        recorder = self.enclave.clock.recorder
+        if recorder.enabled and session.engine.observer is not recorder:
+            # Wire the session's crypto engine to this replica's
+            # recorder so its seal/unseal leaf spans and byte counters
+            # land in the same trace as the serve.* spans above them.
+            session.engine.observer = recorder
         with self._lock:
             self._sessions[session.session_id] = session
 
@@ -214,8 +221,18 @@ class SecureInferenceService:
         (response,) = self.handle_batch([(session_id, seq, sealed)])
         return response
 
-    def handle_batch(self, items: Sequence[BatchItem]) -> List[bytes]:
+    def handle_batch(
+        self,
+        items: Sequence[BatchItem],
+        traces: Optional[Sequence[object]] = None,
+    ) -> List[bytes]:
         """Classify a coalesced batch of sealed requests in one entry.
+
+        ``traces`` (optional, same length as ``items``) carries each
+        request's parent span from the gateway's causal tree; when
+        present, the per-request session open/seal work is wrapped in a
+        :func:`~repro.obs.context.trace_scope` so the SGX-session and
+        crypto-engine leaf spans attach under the right request.
 
         Three phases, each a ``serve.*`` span:
 
@@ -249,6 +266,20 @@ class SecureInferenceService:
                 return recorder.span(name, clock, category="serve")
             return contextlib.nullcontext()
 
+        def request_scope(i: int):
+            """Trace context for item ``i``'s session crypto, if any."""
+            parent = traces[i] if traces is not None else None
+            if parent is None or not recorder.enabled:
+                return contextlib.nullcontext()
+            return trace_scope(
+                TraceContext(
+                    getattr(parent, "trace_id", None),
+                    recorder,
+                    parent,
+                    clock.now(),
+                )
+            )
+
         features = int(np.prod(self.input_shape))
         header = _REQUEST.size
         sample_bytes = features * 4  # float32 payload
@@ -277,10 +308,13 @@ class SecureInferenceService:
             flat = x.reshape(total, features)
             staging = arena.take("serve.staging", (max_plain,), np.uint8)
             offset = 0
-            for (_, seq, sealed), session, n in zip(items, sessions, counts):
+            for i, ((_, seq, sealed), session, n) in enumerate(
+                zip(items, sessions, counts)
+            ):
                 plain = len(sealed) - SEAL_OVERHEAD
                 buf = staging[:plain]
-                session.open_request_into(seq, sealed, buf.data)
+                with request_scope(i):
+                    session.open_request_into(seq, sealed, buf.data)
                 got_n, got_features = _REQUEST.unpack_from(buf.data, 0)
                 if got_features != features:
                     raise ValueError(
@@ -308,9 +342,12 @@ class SecureInferenceService:
         with span("serve.scatter"):
             responses: List[bytes] = []
             offset = 0
-            for (_, seq, _), session, n in zip(items, sessions, counts):
+            for i, ((_, seq, _), session, n) in enumerate(
+                zip(items, sessions, counts)
+            ):
                 payload = predictions[offset : offset + n].view(np.uint8)
-                responses.append(session.seal_response(seq, payload.data))
+                with request_scope(i):
+                    responses.append(session.seal_response(seq, payload.data))
                 offset += n
 
         self._record(requests=len(items), samples=total, batches=1)

@@ -34,6 +34,7 @@ from typing import Callable, Optional, Union
 
 from repro.crypto.backend import AeadBackend, default_backend
 from repro.faults import plan as faultplan
+from repro.obs.context import current_trace
 from repro.obs.recorder import NULL_RECORDER
 
 KEY_SIZE = 16  # bytes; "PLINIUS uses a 128 bit key for all operations"
@@ -75,6 +76,9 @@ class EncryptionEngine:
         "bytes_sealed": "crypto.bytes_sealed",
         "bytes_unsealed": "crypto.bytes_unsealed",
     }
+
+    #: stats key -> request-plane leaf span name.
+    _SPAN_NAMES = {"seals": "crypto.seal", "unseals": "crypto.unseal"}
 
     def __init__(
         self,
@@ -120,6 +124,27 @@ class EncryptionEngine:
             if observer.enabled:
                 observer.count(self._COUNTER_NAMES[op])
                 observer.count(self._COUNTER_NAMES[byte_op], nbytes)
+        if observer.enabled:
+            # Request-plane leaf: when a causal trace context is active
+            # (the batched serve path), pin a zero-width crypto span
+            # under the request's sgx.session span so the tree reaches
+            # all the way down to the AEAD call.  Untraced paths pay one
+            # thread-local read.
+            ctx = current_trace()
+            if ctx is not None:
+                recorder = ctx.recorder
+                wall = recorder.wall_now()
+                recorder.complete(
+                    self._SPAN_NAMES[op],
+                    sim_start=ctx.sim_now,
+                    sim_end=ctx.sim_now,
+                    wall_start=wall,
+                    wall_end=wall,
+                    category="crypto",
+                    args={"bytes": nbytes},
+                    parent=ctx.parent,
+                    trace_id=ctx.trace_id,
+                )
 
     def seal(
         self, plaintext: Buffer, aad: bytes = b"", iv: Optional[bytes] = None

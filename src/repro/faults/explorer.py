@@ -47,6 +47,10 @@ class ExploreConfig:
     flip_bits: Tuple[int, ...] = DEFAULT_FLIP_BITS
     workloads: Tuple[str, ...] = ("train", "link", "serve")
     shrink: bool = True
+    #: When set, every violation's flight-recorder snapshot is written
+    #: to ``<flight_dir>/flight-<workload>-<n>.json`` as a standalone
+    #: crash artifact (what the CI job uploads on failure).
+    flight_dir: Optional[str] = None
 
 
 @dataclass
@@ -57,6 +61,10 @@ class Violation:
     spec: Optional[FaultSpec]  # None: the golden run itself violated
     messages: List[str]
     shrunk_from: Optional[FaultSpec] = None
+    #: Flight-recorder snapshot of the violating replay — the bounded
+    #: tail of spans/counters/fault events leading up to the bad state,
+    #: including the ``fault`` entry naming the injected coordinate.
+    flight: Optional[dict] = None
 
     def to_dict(self) -> dict:
         return {
@@ -66,6 +74,7 @@ class Violation:
             "shrunk_from": (
                 self.shrunk_from.describe() if self.shrunk_from else None
             ),
+            "flight": self.flight,
         }
 
 
@@ -268,6 +277,24 @@ def _shrink(
     return spec, workload.replay(spec), None
 
 
+def _dump_flight(
+    report: ExplorationReport, violation: Violation, flight_dir: Optional[str]
+) -> None:
+    """Write one violation's flight snapshot as a standalone artifact."""
+    if flight_dir is None or violation.flight is None:
+        return
+    import os
+
+    os.makedirs(flight_dir, exist_ok=True)
+    index = len(report.violations)  # violation already appended: 1-based
+    path = os.path.join(
+        flight_dir, f"flight-{violation.workload}-{index}.json"
+    )
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(violation.to_dict(), fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
 # ----------------------------------------------------------------------
 def explore(config: Optional[ExploreConfig] = None) -> ExplorationReport:
     """Run the full golden → enumerate → replay → check → shrink loop."""
@@ -281,9 +308,13 @@ def explore(config: Optional[ExploreConfig] = None) -> ExplorationReport:
         if golden.violations:
             report.violations.append(
                 Violation(
-                    workload=name, spec=None, messages=list(golden.violations)
+                    workload=name,
+                    spec=None,
+                    messages=list(golden.violations),
+                    flight=golden.flight,
                 )
             )
+            _dump_flight(report, report.violations[-1], config.flight_dir)
             continue  # a broken golden run invalidates every replay
         specs = enumerate_points(golden, config)
         if not config.exhaustive:
@@ -311,6 +342,8 @@ def explore(config: Optional[ExploreConfig] = None) -> ExplorationReport:
                     spec=spec,
                     messages=list(outcome.violations),
                     shrunk_from=shrunk_from,
+                    flight=outcome.flight,
                 )
             )
+            _dump_flight(report, report.violations[-1], config.flight_dir)
     return report

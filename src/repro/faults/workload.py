@@ -94,6 +94,9 @@ class GoldenRun:
     stored_iteration: int
     params_digest: str
     violations: List[str] = field(default_factory=list)
+    #: Flight-recorder snapshot of the golden run (last-N telemetry
+    #: events); dumped by the explorer when the golden run itself broke.
+    flight: Optional[dict] = None
 
 
 @dataclass
@@ -110,10 +113,27 @@ class ReplayOutcome:
     final_iteration: int = 0
     stored_iteration: int = 0
     params_digest: str = ""
+    #: Flight-recorder snapshot of the replay machine: the bounded tail
+    #: of spans/counters/fault events leading up to the final state.
+    #: Always captured (the ring is cheap); the explorer attaches it to
+    #: a :class:`~repro.faults.explorer.Violation` when invariants broke
+    #: so every failure report carries its own black box.
+    flight: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
         return not self.violations
+
+
+def _note_fault(machine, spec, event: str) -> None:
+    """Stamp an injected-fault delivery into the machine's flight ring.
+
+    The ring entry names the exact ``(site, hit, kind)`` coordinate (or
+    the exception class for golden runs, where no spec exists), so a
+    violation dump pins which injection preceded the bad state.
+    """
+    label = spec.describe() if spec is not None else event
+    machine.recorder.flight.add("fault", label, machine.clock.now())
 
 
 def params_digest(network) -> str:
@@ -247,6 +267,7 @@ class TrainWorkload:
                 stored_iteration=outcome.stored_iteration,
                 params_digest=outcome.params_digest,
                 violations=violations,
+                flight=outcome.flight,
             )
         return self._golden
 
@@ -312,15 +333,16 @@ class TrainWorkload:
                     outcome.completed = True
                     break
                 except InjectedCrash:
-                    pass  # power failure: fall through to reboot
+                    _note_fault(machine, spec, "crash")
                 except InjectedEcallAbort:
-                    pass  # failed transition: host treats it as fatal
+                    _note_fault(machine, spec, "ecall-abort")
                 except InjectedLinkDrop:
                     outcome.violations.append(
                         "link drop escaped into the train workload"
                     )
                     break
                 except IntegrityError as exc:
+                    _note_fault(machine, spec, "integrity-rejection")
                     outcome.integrity_rejections += 1
                     expected = (
                         spec is not None
@@ -354,6 +376,7 @@ class TrainWorkload:
         outcome.final_iteration = machine.final_iteration
         outcome.stored_iteration = machine.stored_iteration
         outcome.params_digest = machine.params_digest
+        outcome.flight = machine.recorder.flight.snapshot()
         return outcome
 
     # ------------------------------------------------------------------
@@ -559,6 +582,7 @@ class LinkWorkload:
                 stored_iteration=outcome.stored_iteration,
                 params_digest=outcome.params_digest,
                 violations=violations,
+                flight=outcome.flight,
             )
         return self._golden
 
@@ -660,6 +684,7 @@ class LinkWorkload:
                         break
                     step += 1
                 except InjectedCrash:
+                    _note_fault(machine, spec, "crash")
                     plan.disarm()
                     try:
                         machine.worker.kill()
@@ -686,6 +711,7 @@ class LinkWorkload:
                     )
                     break
                 except IntegrityError as exc:
+                    _note_fault(machine, spec, "integrity-rejection")
                     outcome.integrity_rejections += 1
                     expected = (
                         spec is not None
@@ -725,6 +751,7 @@ class LinkWorkload:
         if outcome.completed:
             outcome.stored_iteration = machine.worker.mirror.stored_iteration()
             outcome.params_digest = params_digest(machine.worker.network)
+        outcome.flight = machine.recorder.flight.snapshot()
         return outcome
 
 
@@ -912,6 +939,7 @@ class ServeWorkload:
                 stored_iteration=outcome.stored_iteration,
                 params_digest=outcome.params_digest,
                 violations=violations,
+                flight=outcome.flight,
             )
         return self._golden
 
@@ -975,10 +1003,12 @@ class ServeWorkload:
                     outcome.completed = not outcome.violations
                     break
                 except InjectedCrash:
+                    _note_fault(machine, spec, "crash")
                     self._harvest(machine, outcome.violations)
                 except InjectedEcallAbort:
                     # An abort the gateway could not absorb: the host
                     # treats it as fatal and power-cycles.
+                    _note_fault(machine, spec, "ecall-abort")
                     self._harvest(machine, outcome.violations)
                 except InjectedLinkDrop:
                     outcome.violations.append(
@@ -986,6 +1016,7 @@ class ServeWorkload:
                     )
                     break
                 except IntegrityError as exc:
+                    _note_fault(machine, spec, "integrity-rejection")
                     outcome.integrity_rejections += 1
                     expected = (
                         spec is not None
@@ -1021,6 +1052,7 @@ class ServeWorkload:
         outcome.losses = dict(machine.answered)
         outcome.final_iteration = len(machine.answered)
         outcome.stored_iteration = machine.stored_iteration
+        outcome.flight = machine.recorder.flight.snapshot()
         if machine.answered:
             h = hashlib.sha256()
             for index in sorted(machine.answered):

@@ -24,6 +24,12 @@ the ``repro <cmd> --trace PATH`` CLI flag does).
 See ``docs/observability.md`` for the span taxonomy and counter names.
 """
 
+from repro.obs.context import (
+    TraceContext,
+    current_trace,
+    trace_id_of,
+    trace_scope,
+)
 from repro.obs.export import (
     mirror_breakdown,
     phase_totals,
@@ -33,6 +39,8 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.flight import FlightRecorder, FlightRing
+from repro.obs.hist import LogHistogram
 from repro.obs.metrics import CounterRegistry
 from repro.obs.recorder import (
     NULL_RECORDER,
@@ -42,6 +50,14 @@ from repro.obs.recorder import (
     get_default_recorder,
     install_default_recorder,
 )
+from repro.obs.report import (
+    build_report,
+    build_report_from_recorder,
+    load_trace,
+    render_report_json,
+    render_report_text,
+)
+from repro.obs.slo import SloMonitor, SloObjective, error_rate_slo, latency_slo
 
 __all__ = [
     "TraceRecorder",
@@ -49,6 +65,17 @@ __all__ = [
     "NULL_RECORDER",
     "Span",
     "CounterRegistry",
+    "LogHistogram",
+    "FlightRecorder",
+    "FlightRing",
+    "TraceContext",
+    "trace_id_of",
+    "current_trace",
+    "trace_scope",
+    "SloMonitor",
+    "SloObjective",
+    "latency_slo",
+    "error_rate_slo",
     "get_default_recorder",
     "install_default_recorder",
     "to_chrome_trace",
@@ -58,4 +85,9 @@ __all__ = [
     "phase_totals",
     "mirror_breakdown",
     "summary",
+    "build_report",
+    "build_report_from_recorder",
+    "load_trace",
+    "render_report_json",
+    "render_report_text",
 ]

@@ -1,0 +1,96 @@
+"""Causal trace context — deterministic request-scoped span trees.
+
+The serving tier fans one sealed request across layers that do not
+share a call stack: the gateway admits it, the batcher coalesces it,
+a replica's enclave decrypts it, and the crypto engine seals the
+response — possibly twice, on different replicas, when a crash forces
+an epoch-fenced redispatch.  Thread-local span stacks cannot express
+that tree, so the request plane uses explicit :class:`TraceContext`
+propagation instead:
+
+* the gateway mints a **deterministic trace id** at admission —
+  :func:`trace_id_of` is a pure function of ``(session_id, seq)``, so
+  same-seed runs assign identical ids;
+* each layer that does work on behalf of the request enters a
+  :func:`trace_scope` naming the recorder, the parent span, and the
+  deterministic sim timestamp to stamp on leaf spans;
+* deep layers with no clock or recorder of their own
+  (:class:`~repro.sgx.attestation.InferenceSession`,
+  :class:`~repro.crypto.engine.EncryptionEngine`) consult
+  :func:`current_trace` and, when a context is active, attach their
+  spans to the request's tree via ``recorder.complete(parent=...)``.
+
+The whole mechanism is off-path when tracing is off: no context is
+ever pushed (the gateway guards on ``recorder.enabled``), so
+:func:`current_trace` is one thread-local attribute read returning
+``None``.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+__all__ = [
+    "TraceContext",
+    "trace_id_of",
+    "current_trace",
+    "trace_scope",
+]
+
+_local = threading.local()
+
+
+def trace_id_of(session_id: int, seq: int) -> int:
+    """Deterministic trace id for request ``seq`` of session ``session_id``.
+
+    A pure function — no global counter — so the id is stable across
+    redispatches, reboots, and same-seed reruns.
+    """
+    return ((session_id & 0xFFFFFFFF) << 32) | (seq & 0xFFFFFFFF)
+
+
+class TraceContext:
+    """One request's position in its causal tree, at one layer."""
+
+    __slots__ = ("trace_id", "recorder", "parent", "sim_now")
+
+    def __init__(
+        self,
+        trace_id: int,
+        recorder: Any,
+        parent: Any,
+        sim_now: float,
+    ) -> None:
+        self.trace_id = trace_id
+        #: The :class:`~repro.obs.recorder.TraceRecorder` spans attach to.
+        self.recorder = recorder
+        #: Parent :class:`~repro.obs.recorder.Span` for new child spans.
+        self.parent = parent
+        #: Deterministic sim timestamp leaf spans are stamped with
+        #: (deep layers have no clock; the dispatching layer supplies it).
+        self.sim_now = sim_now
+
+    def child(self, parent: Any) -> "TraceContext":
+        """A derived context whose children attach under ``parent``."""
+        return TraceContext(self.trace_id, self.recorder, parent, self.sim_now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceContext(trace_id={self.trace_id:#x})"
+
+
+def current_trace() -> Optional[TraceContext]:
+    """The calling thread's active trace context, or ``None``."""
+    return getattr(_local, "ctx", None)
+
+
+@contextmanager
+def trace_scope(ctx: TraceContext) -> Iterator[TraceContext]:
+    """Install ``ctx`` as the thread's trace context for the block."""
+    previous = getattr(_local, "ctx", None)
+    _local.ctx = ctx
+    try:
+        yield ctx
+    finally:
+        _local.ctx = previous

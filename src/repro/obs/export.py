@@ -41,7 +41,14 @@ def _us(seconds: float) -> float:
 
 
 def _span_events(span: Span) -> List[Dict[str, Any]]:
-    args = span.args or {}
+    # Identity fields ride in args so the causal tree (and the ``repro
+    # report`` CLI) can be rebuilt from the exported JSON alone.
+    args = dict(sorted((span.args or {}).items()))
+    args["span"] = span.index
+    if span.parent_index is not None:
+        args["parent"] = span.parent_index
+    if span.trace_id is not None:
+        args["trace_id"] = span.trace_id
     sim_tid = (
         SIM_LANE_TID_BASE + span.sim_lane
         if span.sim_lane is not None
@@ -68,6 +75,21 @@ def _span_events(span: Span) -> List[Dict[str, Any]]:
     ]
 
 
+def _lane_name(lane: int, categories: "set[str]") -> str:
+    """Deterministic display name for one simulated lane.
+
+    Crypto-pool lanes and serving-replica lanes share the tid space
+    (``100 + k`` vs ``100 + 200 + N``); the name is derived from the
+    categories actually drawn on the lane so a collision (crypto lane
+    ``200 + N``) degrades to a neutral label instead of mislabelling.
+    """
+    if categories == {"crypto"}:
+        return f"sim-crypto-worker-{lane}"
+    if categories == {"serve"} and lane >= 200:
+        return f"sim-serve-replica-{lane - 200}"
+    return f"sim-lane-{lane}"
+
+
 def to_chrome_trace(recorder: TraceRecorder) -> Dict[str, Any]:
     """Render the recorder's contents as a Chrome trace-event document."""
     events: List[Dict[str, Any]] = []
@@ -75,13 +97,13 @@ def to_chrome_trace(recorder: TraceRecorder) -> Dict[str, Any]:
         ("process_name", SIM_PID, 0, {"name": "sim-time (deterministic)"}),
         ("process_name", WALL_PID, 0, {"name": "wall-clock"}),
     ]
-    lanes = set()
+    lanes: Dict[int, set] = {}
     threads = set()
     for span in list(recorder.spans):
         events.extend(_span_events(span))
         threads.add(span.thread_id)
         if span.sim_lane is not None:
-            lanes.add(span.sim_lane)
+            lanes.setdefault(span.sim_lane, set()).add(span.category or "span")
     for tid in sorted(threads):
         name = "main" if tid == 0 else f"thread-{tid}"
         metadata.append(("thread_name", SIM_PID, tid, {"name": name}))
@@ -92,7 +114,7 @@ def to_chrome_trace(recorder: TraceRecorder) -> Dict[str, Any]:
                 "thread_name",
                 SIM_PID,
                 SIM_LANE_TID_BASE + lane,
-                {"name": f"sim-crypto-worker-{lane}"},
+                {"name": _lane_name(lane, lanes[lane])},
             )
         )
 
@@ -133,6 +155,19 @@ def to_chrome_trace(recorder: TraceRecorder) -> Dict[str, Any]:
             }
         )
 
+    # Deterministic event order: metadata first (sorted), then data
+    # events sorted on stable keys — identical recorder contents always
+    # serialize byte-identically regardless of completion interleaving.
+    events.sort(
+        key=lambda e: (
+            e["pid"],
+            e["tid"],
+            e["ts"],
+            e["ph"],
+            e["name"],
+            json.dumps(e.get("args", {}), sort_keys=True, default=str),
+        )
+    )
     trace_events = [
         {
             "name": kind,
@@ -141,7 +176,9 @@ def to_chrome_trace(recorder: TraceRecorder) -> Dict[str, Any]:
             "tid": tid,
             "args": args,
         }
-        for kind, pid, tid, args in metadata
+        for kind, pid, tid, args in sorted(
+            metadata, key=lambda m: (m[0], m[1], m[2])
+        )
     ] + events
     return {
         "traceEvents": trace_events,
@@ -150,6 +187,10 @@ def to_chrome_trace(recorder: TraceRecorder) -> Dict[str, Any]:
             "generator": "repro.obs",
             "counters": recorder.counters.snapshot(),
             "gauges": recorder.counters.gauges_snapshot(),
+            "histograms": recorder.counters.histograms_snapshot(),
+            "flight": recorder.flight.snapshot()
+            if hasattr(recorder, "flight")
+            else None,
         },
     }
 
@@ -158,7 +199,7 @@ def write_chrome_trace(recorder: TraceRecorder, path: str) -> Dict[str, Any]:
     """Serialize the Chrome trace to ``path``; returns the document."""
     doc = to_chrome_trace(recorder)
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(doc, fh, indent=1)
+        json.dump(doc, fh, indent=1, sort_keys=True)
         fh.write("\n")
     return doc
 
@@ -180,11 +221,12 @@ def to_jsonl_lines(recorder: TraceRecorder) -> List[str]:
                     "parent": span.parent_index,
                     "thread": span.thread_id,
                     "sim_lane": span.sim_lane,
+                    "trace_id": span.trace_id,
                     "sim_start": span.sim_start,
                     "sim_end": span.sim_end,
                     "wall_start": span.wall_start,
                     "wall_end": span.wall_end,
-                    "args": span.args or {},
+                    "args": dict(sorted((span.args or {}).items())),
                 },
                 sort_keys=True,
             )
@@ -204,6 +246,13 @@ def to_jsonl_lines(recorder: TraceRecorder) -> List[str]:
         lines.append(
             json.dumps(
                 {"type": "gauge", "name": name, "value": value},
+                sort_keys=True,
+            )
+        )
+    for name, hist in recorder.counters.histograms_snapshot().items():
+        lines.append(
+            json.dumps(
+                {"type": "histogram", "name": name, "hist": hist},
                 sort_keys=True,
             )
         )
@@ -318,6 +367,26 @@ def summary(recorder: TraceRecorder) -> str:
                 ["metric", "value"],
                 [[name, value] for name, value in counters.items()]
                 + [[f"{name} (gauge)", value] for name, value in gauges.items()],
+            )
+        )
+    histograms = recorder.counters.histograms_snapshot()
+    if histograms:
+        parts.append("")
+        parts.append(
+            _format_rows(
+                ["histogram", "count", "mean", "p50", "p99", "p999", "max"],
+                [
+                    [
+                        name,
+                        hist["count"],
+                        f"{hist['mean']:.6g}",
+                        f"{hist['p50']:.6g}",
+                        f"{hist['p99']:.6g}",
+                        f"{hist['p999']:.6g}",
+                        f"{hist['max']:.6g}" if hist["max"] is not None else "-",
+                    ]
+                    for name, hist in histograms.items()
+                ],
             )
         )
     events = list(recorder.events)

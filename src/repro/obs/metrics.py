@@ -23,11 +23,13 @@ from __future__ import annotations
 import threading
 from typing import Dict, Union
 
+from repro.obs.hist import LogHistogram
+
 Number = Union[int, float]
 
 
 class CounterRegistry:
-    """Thread-safe counter/gauge registry.
+    """Thread-safe counter/gauge/histogram registry.
 
     Increments from the crypto worker pool race with main-thread
     increments; a single lock makes every update atomic so the registry
@@ -39,6 +41,7 @@ class CounterRegistry:
         self._lock = threading.Lock()
         self._counters: Dict[str, Number] = {}
         self._gauges: Dict[str, Number] = {}
+        self._histograms: Dict[str, LogHistogram] = {}
 
     # ------------------------------------------------------------------
     def add(self, name: str, value: Number = 1) -> None:
@@ -50,6 +53,15 @@ class CounterRegistry:
         """Record the latest sample of gauge ``name``."""
         with self._lock:
             self._gauges[name] = value
+
+    def observe(self, name: str, value: Number) -> None:
+        """Add one sample to the log2-bucket histogram ``name``."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = LogHistogram()
+                self._histograms[name] = hist
+            hist.record(float(value))
 
     # ------------------------------------------------------------------
     def get(self, name: str, default: Number = 0) -> Number:
@@ -72,15 +84,35 @@ class CounterRegistry:
         with self._lock:
             return dict(sorted(self._gauges.items()))
 
+    def histogram(self, name: str) -> LogHistogram:
+        """The live histogram ``name`` (created empty on first access)."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = LogHistogram()
+                self._histograms[name] = hist
+            return hist
+
+    def histograms_snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Histograms as deterministic dicts, sorted by name."""
+        with self._lock:
+            return {
+                name: hist.to_dict()
+                for name, hist in sorted(self._histograms.items())
+            }
+
     def clear(self) -> None:
-        """Drop every counter and gauge (tests)."""
+        """Drop every counter, gauge, and histogram (tests)."""
         with self._lock:
             self._counters.clear()
             self._gauges.clear()
+            self._histograms.clear()
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._counters) + len(self._gauges)
+            return (
+                len(self._counters) + len(self._gauges) + len(self._histograms)
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CounterRegistry({len(self)} metrics)"

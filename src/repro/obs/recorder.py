@@ -30,6 +30,7 @@ import threading
 import time
 from typing import Any, Dict, List, Optional
 
+from repro.obs.flight import DEFAULT_FLIGHT_CAPACITY, FlightRing
 from repro.obs.metrics import CounterRegistry
 
 __all__ = [
@@ -54,6 +55,7 @@ class Span:
         "parent_index",
         "thread_id",
         "sim_lane",
+        "trace_id",
         "sim_start",
         "sim_end",
         "wall_start",
@@ -73,6 +75,7 @@ class Span:
         wall_start: float,
         args: Optional[Dict[str, Any]],
         sim_lane: Optional[int] = None,
+        trace_id: Optional[int] = None,
     ) -> None:
         self.name = name
         self.category = category
@@ -80,6 +83,9 @@ class Span:
         self.parent_index = parent_index
         self.thread_id = thread_id
         self.sim_lane = sim_lane
+        #: Request-scoped causal-tree id (``obs.context.trace_id_of``);
+        #: ``None`` for spans outside the request plane.
+        self.trace_id = trace_id
         self.sim_start = sim_start
         self.sim_end = sim_start
         self.wall_start = wall_start
@@ -176,6 +182,9 @@ class NullRecorder:
     def gauge(self, name: str, value: float) -> None:
         return None
 
+    def observe(self, name: str, value: float) -> None:
+        return None
+
     def current_span(self) -> None:
         return None
 
@@ -200,10 +209,13 @@ class TraceRecorder:
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, flight_capacity: int = DEFAULT_FLIGHT_CAPACITY) -> None:
         self.spans: List[Span] = []
         self.events: List[Dict[str, Any]] = []
         self.counters = CounterRegistry()
+        #: Bounded tail of recent telemetry — the crash flight recorder
+        #: the fault explorer dumps alongside invariant violations.
+        self.flight = FlightRing(flight_capacity)
         self._lock = threading.Lock()
         self._local = threading.local()
         self._next_index = 0
@@ -250,6 +262,7 @@ class TraceRecorder:
         category: str = "",
         args: Optional[Dict[str, Any]] = None,
         parent: Any = _UNSET,
+        trace_id: Optional[int] = None,
     ) -> Span:
         """Open a span at simulated time ``sim_now``.
 
@@ -273,6 +286,7 @@ class TraceRecorder:
             sim_start=sim_now,
             wall_start=self.wall_now(),
             args=args,
+            trace_id=trace_id,
         )
         if stacked:
             self._stack().append(span)
@@ -290,6 +304,7 @@ class TraceRecorder:
             stack.pop()
         with self._lock:
             self.spans.append(span)
+            self.flight.add("span", span.name, sim_now)
         return span
 
     def span(
@@ -313,6 +328,7 @@ class TraceRecorder:
         args: Optional[Dict[str, Any]] = None,
         parent: Optional[Span] = None,
         sim_lane: Optional[int] = None,
+        trace_id: Optional[int] = None,
     ) -> Span:
         """Record an already-measured span in one call.
 
@@ -331,12 +347,14 @@ class TraceRecorder:
             wall_start=wall_start,
             args=args,
             sim_lane=sim_lane,
+            trace_id=trace_id,
         )
         span.sim_end = sim_end
         span.wall_end = wall_end
         span._closed = True
         with self._lock:
             self.spans.append(span)
+            self.flight.add("span", span.name, sim_end)
         return span
 
     def current_span(self) -> Optional[Span]:
@@ -353,26 +371,43 @@ class TraceRecorder:
         sim_now: float,
         category: str = "",
         args: Optional[Dict[str, Any]] = None,
+        wall_time: Optional[float] = None,
     ) -> None:
-        """Record a point-in-time event (e.g. ``romulus.recover``)."""
+        """Record a point-in-time event (e.g. ``romulus.recover``).
+
+        ``wall_time`` pins the host timestamp explicitly; tests that
+        assert byte-identical exports across two recorders use it to
+        remove the one nondeterministic field.
+        """
         event = {
             "name": name,
             "category": category,
             "sim_time": sim_now,
-            "wall_time": self.wall_now(),
+            "wall_time": self.wall_now() if wall_time is None else wall_time,
             "thread_id": self._thread_id(),
             "args": args or {},
         }
         with self._lock:
             self.events.append(event)
+            self.flight.add("instant", name, sim_now)
 
     def count(self, name: str, value: int = 1) -> None:
         """Increment counter ``name`` by ``value``."""
         self.counters.add(name, value)
+        with self._lock:
+            self.flight.add("count", name, value)
 
     def gauge(self, name: str, value: float) -> None:
         """Record the latest sample of gauge ``name``."""
         self.counters.set_gauge(name, value)
+        with self._lock:
+            self.flight.add("gauge", name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Add one sample to the log2-bucket histogram ``name``."""
+        self.counters.observe(name, value)
+        with self._lock:
+            self.flight.add("observe", name, value)
 
     # ------------------------------------------------------------------
     # Deterministic projections
@@ -394,6 +429,7 @@ class TraceRecorder:
                 "sim_start": s.sim_start,
                 "sim_end": s.sim_end,
                 "sim_lane": s.sim_lane,
+                "trace_id": s.trace_id,
                 "args": dict(sorted((s.args or {}).items())),
             }
             for s in spans

@@ -1,0 +1,202 @@
+"""Declarative SLO monitoring with multi-window burn-rate alerts.
+
+An :class:`SloObjective` states a service-level objective over the
+serving tier in the paper-style measurable form — "p99 end-to-end
+latency ≤ D seconds", "error (rejection) rate ≤ r of requests" — and
+the :class:`SloMonitor` evaluates it continuously on **simulated
+time**: every sample carries the gateway's `SimClock` timestamp, so the
+same seed produces the identical alert sequence on any host.
+
+Alerting follows the SRE multi-window burn-rate pattern: an objective
+fires only when *both* a long window and a short window burn error
+budget faster than ``burn_threshold`` — the long window proves the
+breach is sustained (no flapping on one slow request), the short
+window proves it is still happening (alerts clear quickly once the
+system recovers).  For latency objectives the "bad event" is a request
+whose end-to-end latency exceeds the threshold; for error-rate
+objectives it is a rejected/failed request.
+
+Alerts are emitted into the trace as deterministic instant events
+(``slo.alert`` / ``slo.resolve``, pinned ``wall_time=sim`` so exports
+stay byte-identical) plus an ``slo.alerts`` counter, which is how they
+reach the flight recorder, the Chrome trace, and ``repro report``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["SloObjective", "SloMonitor", "latency_slo", "error_rate_slo"]
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One declarative objective evaluated over sliding sim-time windows.
+
+    ``budget`` is the tolerated bad-event fraction (e.g. ``0.01`` allows
+    1% of requests to miss the latency target, or a 1% error rate).
+    The burn rate of a window is ``bad_fraction / budget``; both the
+    ``window``-long and the ``short_window``-long burn rates must reach
+    ``burn_threshold`` for the objective to be breaching.
+    """
+
+    name: str
+    kind: str  # "latency" | "error_rate"
+    threshold: float = 0.0  # seconds (latency objectives only)
+    budget: float = 0.01
+    window: float = 1e-2  # long window, simulated seconds
+    short_window: float = 1e-3
+    burn_threshold: float = 1.0
+    min_events: int = 4  # don't evaluate windows thinner than this
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("latency", "error_rate"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if self.kind == "latency" and self.threshold <= 0:
+            raise ValueError("latency objectives need a positive threshold")
+        if not 0.0 < self.budget < 1.0:
+            raise ValueError(f"budget must be in (0, 1), got {self.budget}")
+        if self.short_window > self.window:
+            raise ValueError("short_window must not exceed window")
+        if self.min_events < 1:
+            raise ValueError("min_events must be >= 1")
+
+    def is_bad(self, latency: float, ok: bool) -> bool:
+        """Does one ``(latency, ok)`` sample consume error budget?"""
+        if self.kind == "latency":
+            return ok and latency > self.threshold
+        return not ok
+
+
+def latency_slo(
+    name: str,
+    threshold: float,
+    budget: float = 0.01,
+    window: float = 1e-2,
+    short_window: float = 1e-3,
+    burn_threshold: float = 1.0,
+) -> SloObjective:
+    """Shorthand: "all but ``budget`` of requests finish ≤ ``threshold`` s"."""
+    return SloObjective(
+        name=name,
+        kind="latency",
+        threshold=threshold,
+        budget=budget,
+        window=window,
+        short_window=short_window,
+        burn_threshold=burn_threshold,
+    )
+
+
+def error_rate_slo(
+    name: str,
+    budget: float = 0.01,
+    window: float = 1e-2,
+    short_window: float = 1e-3,
+    burn_threshold: float = 1.0,
+) -> SloObjective:
+    """Shorthand: "at most ``budget`` of requests are rejected/failed"."""
+    return SloObjective(
+        name=name,
+        kind="error_rate",
+        budget=budget,
+        window=window,
+        short_window=short_window,
+        burn_threshold=burn_threshold,
+    )
+
+
+class SloMonitor:
+    """Evaluates objectives over a sliding sample window on sim time."""
+
+    def __init__(self, objectives: List[SloObjective], recorder: Any) -> None:
+        names = [o.name for o in objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate objective names: {names}")
+        self.objectives = list(objectives)
+        self.recorder = recorder
+        #: ``(sim_time, latency, ok)`` samples, arrival order == time order.
+        self._samples: List[Tuple[float, float, bool]] = []
+        self._breaching: Dict[str, bool] = {o.name: False for o in objectives}
+        #: Every alert/resolve transition: ``(sim_time, name, breaching)``.
+        self.transitions: List[Tuple[float, str, bool]] = []
+
+    # ------------------------------------------------------------------
+    def record(self, now: float, latency: float, ok: bool = True) -> None:
+        """Feed one request outcome and re-evaluate every objective."""
+        self._samples.append((now, latency, ok))
+        horizon = now - max(o.window for o in self.objectives)
+        # Sim time is monotone, so pruning from the front is exact.
+        drop = 0
+        while drop < len(self._samples) and self._samples[drop][0] < horizon:
+            drop += 1
+        if drop:
+            del self._samples[:drop]
+        self.evaluate(now)
+
+    # ------------------------------------------------------------------
+    def _burn_rate(
+        self, objective: SloObjective, now: float, window: float
+    ) -> Optional[float]:
+        start = now - window
+        total = 0
+        bad = 0
+        for when, latency, ok in self._samples:
+            if when < start:
+                continue
+            total += 1
+            if objective.is_bad(latency, ok):
+                bad += 1
+        if total < objective.min_events:
+            return None
+        return (bad / total) / objective.budget
+
+    def evaluate(self, now: float) -> Dict[str, bool]:
+        """Re-evaluate all objectives at sim time ``now``; emit transitions."""
+        state: Dict[str, bool] = {}
+        for objective in self.objectives:
+            long_burn = self._burn_rate(objective, now, objective.window)
+            short_burn = self._burn_rate(objective, now, objective.short_window)
+            breaching = (
+                long_burn is not None
+                and short_burn is not None
+                and long_burn >= objective.burn_threshold
+                and short_burn >= objective.burn_threshold
+            )
+            previous = self._breaching[objective.name]
+            if breaching != previous:
+                self._breaching[objective.name] = breaching
+                self.transitions.append((now, objective.name, breaching))
+                recorder = self.recorder
+                if recorder.enabled:
+                    recorder.instant(
+                        "slo.alert" if breaching else "slo.resolve",
+                        now,
+                        category="slo",
+                        args={
+                            "objective": objective.name,
+                            "kind": objective.kind,
+                            "long_burn": long_burn,
+                            "short_burn": short_burn,
+                            "burn_threshold": objective.burn_threshold,
+                        },
+                        wall_time=now,
+                    )
+                if breaching:
+                    recorder.count("slo.alerts")
+            state[objective.name] = breaching
+        return state
+
+    def breaching(self, name: str) -> bool:
+        """Is objective ``name`` currently breaching?"""
+        return self._breaching[name]
+
+    def alert_count(self) -> int:
+        return sum(1 for _, _, breaching in self.transitions if breaching)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SloMonitor({len(self.objectives)} objectives, "
+            f"{self.alert_count()} alerts)"
+        )

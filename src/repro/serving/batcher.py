@@ -15,7 +15,7 @@ either bound trips:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -49,6 +49,14 @@ class PendingRequest:
     #: Dispatch attempts so far (bumped when a replica dies mid-batch
     #: and the request is redispatched).
     attempts: int = 0
+    #: Deterministic causal-trace id (``obs.context.trace_id_of``); the
+    #: id survives requeues and redispatches, so every retry's spans
+    #: land in the same tree.
+    trace_id: int = 0
+    #: Root ``serve.request`` span opened at admission (``None`` when
+    #: tracing is off); carried with the request across batching and
+    #: redispatch so downstream layers can attach children.
+    root: Optional[Any] = None
 
 
 class RequestQueue:

@@ -38,6 +38,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.crypto.engine import SEAL_OVERHEAD
 from repro.faults import plan as faultplan
 from repro.faults.plan import InjectedEcallAbort
+from repro.obs.context import trace_id_of
+from repro.obs.slo import SloMonitor
 from repro.serving.admission import AdmissionController, AdmissionPolicy
 from repro.serving.batcher import (
     Batcher,
@@ -122,6 +124,7 @@ class InferenceGateway:
         clock: SimClock,
         batch_policy: Optional[BatchPolicy] = None,
         admission_policy: Optional[AdmissionPolicy] = None,
+        slo: Optional[SloMonitor] = None,
     ) -> None:
         self.pool = pool
         self.clock = clock
@@ -129,6 +132,8 @@ class InferenceGateway:
         self.admission = AdmissionController(
             admission_policy or AdmissionPolicy()
         )
+        #: Optional SLO monitor fed every delivery/rejection on sim time.
+        self.slo = slo
         self.queue = RequestQueue()
         self.result = GatewayResult()
         self._events: List[Tuple[float, int, str, object]] = []
@@ -170,6 +175,7 @@ class InferenceGateway:
             sealed=sealed,
             n_samples=n_samples,
             arrival=float(at),
+            trace_id=trace_id_of(session_id, seq),
         )
         self._push(at, "arrival", request)
         return request_id
@@ -227,11 +233,27 @@ class InferenceGateway:
             self.result.rejected.append(request.request_id)
             if recorder.enabled:
                 recorder.count("serve.rejected")
+            if self.slo is not None:
+                self.slo.record(self.clock.now(), 0.0, ok=False)
             return
         self.queue.append(request)
         if recorder.enabled:
             recorder.count("serve.admitted")
             recorder.gauge("serve.queue_depth", len(self.queue))
+            # Admission mints the request's causal tree: one root span
+            # per request, open until the sealed response is delivered.
+            request.root = recorder.begin(
+                "serve.request",
+                request.arrival,
+                category="serve",
+                args={
+                    "request": request.request_id,
+                    "session": request.session_id,
+                    "seq": request.seq,
+                },
+                parent=None,
+                trace_id=request.trace_id,
+            )
         deadline = self.batcher.next_deadline(self.queue)
         if deadline is not None:
             self._push(deadline, "deadline", None)
@@ -241,8 +263,29 @@ class InferenceGateway:
         replica = self.pool.replicas[index]
         if replica.epoch != epoch:
             return  # completion of a dead incarnation: discard
+        recorder = self.clock.recorder
+        record = self._batch_records[batch_id]
+        traces = None
+        if recorder.enabled:
+            # One ``serve.enclave`` child per request, opened before the
+            # real in-enclave work so the session/crypto leaf spans can
+            # attach underneath (closed after ``handle_batch`` returns).
+            traces = [
+                recorder.begin(
+                    "serve.enclave",
+                    record.dispatched_at,
+                    category="serve",
+                    args={"batch": batch_id, "replica": index},
+                    parent=r.root,
+                    trace_id=r.trace_id,
+                )
+                if r.root is not None
+                else None
+                for r in batch
+            ]
         responses = replica.service.handle_batch(
-            [(r.session_id, r.seq, r.sealed) for r in batch]
+            [(r.session_id, r.seq, r.sealed) for r in batch],
+            traces=traces,
         )
         now = self.clock.now()
         for request, sealed in zip(batch, responses):
@@ -261,13 +304,39 @@ class InferenceGateway:
                 generation=replica.generation,
                 batch_id=batch_id,
             )
-        record = self._batch_records[batch_id]
+            if self.slo is not None:
+                self.slo.record(now, now - request.arrival, ok=True)
         record.completed_at = now
         replica.busy = False
         replica.inflight = None
-        recorder = self.clock.recorder
         if recorder.enabled:
             recorder.count("serve.responses", len(batch))
+            for request, enclave_span in zip(batch, traces or []):
+                if enclave_span is not None:
+                    recorder.end(enclave_span, now)
+                if request.root is None:
+                    continue
+                recorder.complete(
+                    "serve.response",
+                    sim_start=now,
+                    sim_end=now,
+                    wall_start=recorder.wall_now(),
+                    wall_end=recorder.wall_now(),
+                    category="serve",
+                    args={
+                        "batch": batch_id,
+                        "replica": index,
+                        "generation": replica.generation,
+                        "bytes": len(
+                            self.result.responses[request.request_id].sealed
+                        ),
+                    },
+                    parent=request.root,
+                    trace_id=request.trace_id,
+                )
+                recorder.end(request.root, now)
+                request.root = None  # the tree is sealed: deliver once
+                recorder.observe("serve.e2e", now - request.arrival)
 
     def _on_crash(self, index: int) -> None:
         replica = self.pool.replicas[index]
@@ -290,6 +359,7 @@ class InferenceGateway:
         recorder = self.clock.recorder
         if recorder.enabled:
             recorder.count("serve.redispatched", len(batch))
+            self._mark_redispatch(batch, "crash")
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -356,11 +426,33 @@ class InferenceGateway:
         recorder = self.clock.recorder
         if recorder.enabled:
             recorder.count("serve.redispatched", len(batch))
+            self._mark_redispatch(batch, "abort")
         replica = self._free_replica(after=failed.index)
         if replica is None:
             self.queue.requeue(batch)
             return
         self._dispatch(batch, replica)
+
+    def _mark_redispatch(
+        self, batch: List[PendingRequest], reason: str
+    ) -> None:
+        """Zero-width child spans making retries visible in each tree."""
+        recorder = self.clock.recorder
+        now = self.clock.now()
+        for request in batch:
+            if request.root is None:
+                continue
+            recorder.complete(
+                "serve.redispatch",
+                sim_start=now,
+                sim_end=now,
+                wall_start=recorder.wall_now(),
+                wall_end=recorder.wall_now(),
+                category="serve",
+                args={"attempt": request.attempts, "reason": reason},
+                parent=request.root,
+                trace_id=request.trace_id,
+            )
 
     def _batch_cost(
         self, batch: List[PendingRequest], replica: ServingReplica
@@ -416,6 +508,7 @@ class InferenceGateway:
         recorder = self.clock.recorder
         if recorder.enabled:
             recorder.count("serve.dispatched", len(batch))
+            recorder.observe("serve.batch_size", len(batch))
             recorder.complete(
                 "serve.batch",
                 sim_start=start,
@@ -431,3 +524,35 @@ class InferenceGateway:
                 },
                 sim_lane=REPLICA_LANE_BASE + replica.index,
             )
+            for request in batch:
+                if request.root is None:
+                    continue
+                recorder.observe("serve.queue_wait", start - request.arrival)
+                recorder.complete(
+                    "serve.queue_wait",
+                    sim_start=request.arrival,
+                    sim_end=start,
+                    wall_start=recorder.wall_now(),
+                    wall_end=recorder.wall_now(),
+                    category="serve",
+                    args={"batch": batch_id},
+                    parent=request.root,
+                    trace_id=request.trace_id,
+                )
+                recorder.complete(
+                    "serve.dispatch",
+                    sim_start=start,
+                    sim_end=start,
+                    wall_start=recorder.wall_now(),
+                    wall_end=recorder.wall_now(),
+                    category="serve",
+                    args={
+                        "replica": replica.index,
+                        "batch": batch_id,
+                        "attempt": request.attempts + 1,
+                        "epoch": replica.epoch,
+                        "generation": replica.generation,
+                    },
+                    parent=request.root,
+                    trace_id=request.trace_id,
+                )

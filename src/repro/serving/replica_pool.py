@@ -153,8 +153,25 @@ class ReplicaPool:
         active = faultplan.ACTIVE
         if active.enabled:
             active.check("serve.reload")
+        recorder = self.clock.recorder
+        started = self.clock.now()
+        old_generation = replica.generation
         self.mirror.mirror_in(replica.network)
         replica.generation = self.mirror.stored_iteration()
+        if recorder.enabled:
+            span = recorder.begin(
+                "serve.reload",
+                started,
+                category="serve",
+                args={
+                    "replica": replica.index,
+                    "from_generation": old_generation,
+                    "to_generation": replica.generation,
+                },
+                parent=None,
+            )
+            recorder.end(span, self.clock.now())
+            recorder.observe("serve.reload", self.clock.now() - started)
         return True
 
     # ------------------------------------------------------------------
@@ -168,6 +185,15 @@ class ReplicaPool:
         replica.epoch += 1
         if not replica.enclave.destroyed:
             replica.enclave.destroy()
+        recorder = self.clock.recorder
+        if recorder.enabled:
+            recorder.instant(
+                "serve.replica_crash",
+                self.clock.now(),
+                category="serve",
+                args={"replica": index, "epoch": replica.epoch},
+            )
+            recorder.count("serve.replica_crashes")
         return replica
 
     def repair(self, index: int) -> ServingReplica:
@@ -181,6 +207,15 @@ class ReplicaPool:
         fresh = self._spawn(index)
         fresh.epoch = old.epoch
         self.replicas[index] = fresh
+        recorder = self.clock.recorder
+        if recorder.enabled:
+            recorder.instant(
+                "serve.replica_repair",
+                self.clock.now(),
+                category="serve",
+                args={"replica": index, "generation": fresh.generation},
+            )
+            recorder.count("serve.replica_repairs")
         return fresh
 
     def reinstall_session(self, session: InferenceSession) -> None:

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.crypto.engine import IV_SIZE, EncryptionEngine, RandomSource
+from repro.obs.context import TraceContext, current_trace, trace_scope
 from repro.sgx.enclave import Enclave
 from repro.sgx.sealing import hkdf_sha256  # repro: noqa[SEC002] -- models both endpoints of the DH exchange; the enclave-side derivation is the in-enclave step of remote attestation
 
@@ -154,13 +155,64 @@ class InferenceSession:
             + seq.to_bytes(8, "big")
         )
 
-    def _seal(self, direction: bytes, seq: int, payload: bytes) -> bytes:
-        return self.engine.seal(
-            payload, aad=self._aad(direction, seq), iv=self._iv(direction, seq)
+    def _request_span(
+        self,
+        ctx: TraceContext,
+        name: str,
+        direction: bytes,
+        seq: int,
+        nbytes: int,
+    ):
+        """Open a request-plane span under ``ctx``'s parent.
+
+        Session seals happen inside a batch entry whose sim time the
+        session cannot see, so the span is pinned at the context's
+        ``sim_now`` (zero sim width — the batch cost model charges the
+        crypto time at the batch level); the wall clock still measures
+        the real work.
+        """
+        return ctx.recorder.begin(
+            name,
+            ctx.sim_now,
+            category="sgx",
+            args={
+                "bytes": nbytes,
+                "direction": direction.decode("ascii"),
+                "seq": seq,
+                "session": self.session_id,
+            },
+            parent=ctx.parent,
+            trace_id=ctx.trace_id,
         )
 
+    def _seal(self, direction: bytes, seq: int, payload: bytes) -> bytes:
+        aad = self._aad(direction, seq)
+        iv = self._iv(direction, seq)
+        ctx = current_trace()
+        if ctx is None:
+            return self.engine.seal(payload, aad=aad, iv=iv)
+        span = self._request_span(
+            ctx, "sgx.session.seal", direction, seq, len(payload)
+        )
+        try:
+            with trace_scope(ctx.child(span)):
+                return self.engine.seal(payload, aad=aad, iv=iv)
+        finally:
+            ctx.recorder.end(span, ctx.sim_now)
+
     def _open(self, direction: bytes, seq: int, sealed: bytes) -> bytes:
-        return self.engine.unseal(sealed, aad=self._aad(direction, seq))
+        aad = self._aad(direction, seq)
+        ctx = current_trace()
+        if ctx is None:
+            return self.engine.unseal(sealed, aad=aad)
+        span = self._request_span(
+            ctx, "sgx.session.open", direction, seq, len(sealed)
+        )
+        try:
+            with trace_scope(ctx.child(span)):
+                return self.engine.unseal(sealed, aad=aad)
+        finally:
+            ctx.recorder.end(span, ctx.sim_now)
 
     def seal_request(self, seq: int, payload: bytes) -> bytes:
         return self._seal(self._DIR_REQUEST, seq, payload)
@@ -176,9 +228,18 @@ class InferenceSession:
         :meth:`~repro.crypto.engine.EncryptionEngine.unseal_from`: on an
         integrity failure ``out`` holds garbage and must be discarded.
         """
-        return self.engine.unseal_from(
-            sealed, out, aad=self._aad(self._DIR_REQUEST, seq)
+        aad = self._aad(self._DIR_REQUEST, seq)
+        ctx = current_trace()
+        if ctx is None:
+            return self.engine.unseal_from(sealed, out, aad=aad)
+        span = self._request_span(
+            ctx, "sgx.session.open", self._DIR_REQUEST, seq, len(sealed)
         )
+        try:
+            with trace_scope(ctx.child(span)):
+                return self.engine.unseal_from(sealed, out, aad=aad)
+        finally:
+            ctx.recorder.end(span, ctx.sim_now)
 
     def seal_response(self, seq: int, payload: bytes) -> bytes:
         return self._seal(self._DIR_RESPONSE, seq, payload)

@@ -196,6 +196,53 @@ class TestServeBench:
             build_parser().parse_args(["serve-bench", "--format", "yaml"])
 
 
+class TestReportCommand:
+    def _trace(self, tmp_path):
+        path = tmp_path / "trace.json"
+        assert main(
+            ["serve-bench", "--replicas", "2", "--batch-max", "4",
+             "--requests", "8", "--trace", str(path)]
+        ) == 0
+        return path
+
+    def test_text_report_from_trace(self, tmp_path, capsys):
+        path = self._trace(tmp_path)
+        capsys.readouterr()
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro report (plinius-report/1)" in out
+        assert "causal traces:" in out
+        assert "serve.request" in out
+
+    def test_json_report_to_file(self, tmp_path, capsys):
+        path = self._trace(tmp_path)
+        out_path = tmp_path / "report.json"
+        assert main(
+            ["report", str(path), "--format", "json",
+             "--out", str(out_path)]
+        ) == 0
+        report = json.loads(out_path.read_text())
+        assert report["schema"] == "plinius-report/1"
+        assert report["traces"]["count"] == 3 * 8
+        assert all(t["roots"] == 1 for t in report["traces"]["trees"])
+
+    def test_missing_trace_exits_two(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_non_trace_json_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "other.json"
+        path.write_text('{"not": "a trace"}')
+        assert main(["report", str(path)]) == 2
+
+    def test_crashtest_flight_dir_flag_parses(self):
+        args = build_parser().parse_args(
+            ["crashtest", "--flight-dir", "/tmp/fl"]
+        )
+        assert args.flight_dir == "/tmp/fl"
+        assert build_parser().parse_args(["crashtest"]).flight_dir is None
+
+
 class TestFormatJson:
     def test_tcb_json(self, capsys):
         assert main(["tcb", "--format", "json"]) == 0

@@ -89,17 +89,28 @@ class TestSampledExploration:
         assert data["ok"] is True
         assert data["mode"] == "sampled"
 
-    def test_explorer_detects_a_broken_recovery(self):
+    def test_explorer_detects_a_broken_recovery(self, tmp_path):
         # Self-validation: under a deliberately broken variant the same
         # exploration must report violations.
         with apply_mutant("recovery-skip-restore"):
             report = explore(
                 ExploreConfig(exhaustive=False, samples=12, seed=1,
-                              workloads=("train",))
+                              workloads=("train",),
+                              flight_dir=str(tmp_path))
             )
         assert not report.ok
         assert report.violations
         assert "VIOLATIONS" in report.render_text()
+        # Every violation carries its flight-recorder snapshot, and the
+        # explorer wrote each one as a standalone crash artifact.
+        assert all(v.flight is not None for v in report.violations)
+        dumps = sorted(tmp_path.glob("flight-train-*.json"))
+        assert len(dumps) == len(report.violations)
+        import json
+
+        doc = json.loads(dumps[0].read_text())
+        assert doc["workload"] == "train"
+        assert doc["flight"]["events"], "flight dump has no event tail"
 
     def test_unknown_mutant_rejected(self):
         with pytest.raises(ValueError, match="unknown mutant"):
@@ -129,3 +140,8 @@ class TestExhaustiveAcceptance:
         assert not report.ok, (
             f"mutant {mutant!r} survived exploration undetected"
         )
+        # Every violation must arrive with its crash flight dump — the
+        # bounded event tail that identifies the failing site/workload.
+        for violation in report.violations:
+            assert violation.flight is not None, violation.to_dict()
+            assert violation.flight["events"]

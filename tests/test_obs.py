@@ -150,7 +150,8 @@ class TestTraceRecorder:
         assert [v["name"] for v in view] == ["a", "b"]
         for entry in view:
             assert set(entry) == {
-                "name", "category", "sim_start", "sim_end", "sim_lane", "args"
+                "name", "category", "sim_start", "sim_end", "sim_lane",
+                "trace_id", "args"
             }
 
     def test_cross_thread_spans_get_distinct_thread_ids(self):

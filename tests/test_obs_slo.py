@@ -1,0 +1,159 @@
+"""SLO monitor: multi-window burn-rate alerting on simulated time.
+
+Alerting must be a pure function of the sim-time sample stream: the
+same seed produces the identical `transitions` list and identical
+`slo.alert` / `slo.resolve` instants on any host.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import TraceRecorder
+from repro.obs.recorder import NULL_RECORDER
+from repro.obs.slo import SloMonitor, SloObjective, error_rate_slo, latency_slo
+
+
+def monitor(*objectives, recorder=None):
+    return SloMonitor(
+        list(objectives), recorder if recorder is not None else NULL_RECORDER
+    )
+
+
+class TestObjectiveValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SloObjective(name="x", kind="availability")
+
+    def test_latency_objective_needs_positive_threshold(self):
+        with pytest.raises(ValueError):
+            SloObjective(name="x", kind="latency", threshold=0.0)
+
+    def test_budget_must_be_fractional(self):
+        with pytest.raises(ValueError):
+            latency_slo("x", threshold=1e-3, budget=1.0)
+
+    def test_short_window_cannot_exceed_window(self):
+        with pytest.raises(ValueError):
+            latency_slo("x", 1e-3, window=1e-3, short_window=1e-2)
+
+    def test_duplicate_objective_names_rejected(self):
+        with pytest.raises(ValueError):
+            monitor(latency_slo("a", 1e-3), error_rate_slo("a"))
+
+    def test_bad_event_classification(self):
+        lat = latency_slo("lat", threshold=1e-3)
+        err = error_rate_slo("err")
+        assert lat.is_bad(2e-3, ok=True)
+        assert not lat.is_bad(5e-4, ok=True)
+        assert not lat.is_bad(2e-3, ok=False)  # rejects don't count here
+        assert err.is_bad(0.0, ok=False)
+        assert not err.is_bad(9.9, ok=True)
+
+
+class TestBurnRateAlerting:
+    def test_healthy_stream_never_transitions(self):
+        m = monitor(latency_slo("lat", threshold=1e-3, budget=0.5))
+        for i in range(50):
+            m.record(i * 1e-4, 1e-4, ok=True)
+        assert m.transitions == []
+        assert not m.breaching("lat")
+
+    def test_sustained_breach_alerts_once_then_resolves(self):
+        m = monitor(
+            latency_slo(
+                "lat", threshold=1e-3, budget=0.1,
+                window=1e-2, short_window=1e-3,
+            )
+        )
+        now = 0.0
+        for _ in range(40):  # every request misses the latency target
+            m.record(now, 5e-3, ok=True)
+            now += 1e-4
+        assert m.breaching("lat")
+        assert m.alert_count() == 1  # no flapping while it stays bad
+        for _ in range(40):  # recovery: everything fast again
+            m.record(now, 1e-4, ok=True)
+            now += 1e-4
+        assert not m.breaching("lat")
+        alerts = [t for t in m.transitions if t[2]]
+        resolves = [t for t in m.transitions if not t[2]]
+        assert len(alerts) == 1 and len(resolves) == 1
+        assert alerts[0][0] < resolves[0][0]
+
+    def test_min_events_gates_thin_windows(self):
+        # One terrible request must not fire an alert on its own: the
+        # short window holds fewer than min_events samples.
+        m = monitor(latency_slo("lat", threshold=1e-3, budget=0.01))
+        m.record(0.0, 9.0, ok=True)
+        assert m.transitions == []
+
+    def test_error_rate_objective_counts_rejections(self):
+        m = monitor(
+            error_rate_slo(
+                "err", budget=0.1, window=1e-2, short_window=1e-3
+            )
+        )
+        now = 0.0
+        for _ in range(30):
+            m.record(now, 0.0, ok=False)  # every request rejected
+            now += 1e-4
+        assert m.breaching("err")
+
+    def test_same_stream_identical_transitions(self):
+        def drive(m):
+            now = 0.0
+            for i in range(60):
+                bad = 20 <= i < 40
+                m.record(now, 5e-3 if bad else 1e-4, ok=True)
+                now += 5e-4
+            return m.transitions
+
+        obj = dict(threshold=1e-3, budget=0.1, window=5e-3, short_window=1e-3)
+        assert drive(monitor(latency_slo("lat", **obj))) == drive(
+            monitor(latency_slo("lat", **obj))
+        )
+
+
+class TestRecorderEmission:
+    def test_alert_and_resolve_emit_deterministic_instants(self):
+        recorder = TraceRecorder()
+        m = monitor(
+            latency_slo(
+                "lat", threshold=1e-3, budget=0.1,
+                window=1e-2, short_window=1e-3,
+            ),
+            recorder=recorder,
+        )
+        now = 0.0
+        for i in range(80):
+            m.record(now, 5e-3 if i < 40 else 1e-4, ok=True)
+            now += 1e-4
+        alerts = recorder.find_events("slo.alert")
+        resolves = recorder.find_events("slo.resolve")
+        assert len(alerts) == 1 and len(resolves) == 1
+        assert alerts[0]["args"]["objective"] == "lat"
+        # wall_time is pinned to sim time so exports stay byte-identical.
+        assert alerts[0]["wall_time"] == alerts[0]["sim_time"]
+        assert recorder.counters.snapshot()["slo.alerts"] == 1
+
+    def test_gateway_feeds_monitor_end_to_end(self):
+        from tests.test_serving_gateway import (
+            _images,
+            deployment,
+            submit_all,
+        )
+
+        recorder = TraceRecorder()
+        # A threshold below any possible enclave latency: every request
+        # burns budget, so the monitor must alert during the drain.
+        slo = SloMonitor(
+            [latency_slo("serve-p99", threshold=1e-9, budget=0.01)],
+            recorder,
+        )
+        system, pool, gateway, clients = deployment(recorder=recorder)
+        gateway.slo = slo
+        submit_all(gateway, clients, _images(16))
+        gateway.run()
+        assert slo.alert_count() >= 1
+        assert recorder.find_events("slo.alert")

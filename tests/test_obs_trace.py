@@ -1,0 +1,225 @@
+"""End-to-end causal tracing: one span tree per sealed request.
+
+The acceptance contract of the request telemetry plane: a traced
+serving run yields exactly one causal tree per request — rooted at the
+gateway's ``serve.request`` admission span, spanning queue wait, batch
+dispatch, the enclave handle, the session's seal/unseal spans, down to
+the crypto engine's leaf spans — with deterministic trace ids, across
+batching, replica redispatch, and same-seed reruns.
+"""
+
+from __future__ import annotations
+
+from repro.obs import TraceRecorder
+from repro.obs.context import (
+    TraceContext,
+    current_trace,
+    trace_id_of,
+    trace_scope,
+)
+from repro.obs.report import build_report_from_recorder, render_report_json
+from tests.test_serving_gateway import (
+    N_CLIENTS,
+    _images,
+    deployment,
+    submit_all,
+)
+
+N_REQUESTS = 8
+
+
+def traced_run(**kwargs):
+    recorder = TraceRecorder()
+    system, pool, gateway, clients = deployment(recorder=recorder, **kwargs)
+    labels = submit_all(gateway, clients, _images(N_REQUESTS))
+    return recorder, gateway, labels
+
+
+def spans_by_index(recorder):
+    return {s.index: s for s in recorder.spans}
+
+
+def root_of(span, by_index):
+    while span.parent_index is not None:
+        span = by_index[span.parent_index]
+    return span
+
+
+def path_names(span, by_index):
+    names = [span.name]
+    while span.parent_index is not None:
+        span = by_index[span.parent_index]
+        names.append(span.name)
+    return names
+
+
+class TestTraceIdentity:
+    def test_trace_id_is_a_pure_function(self):
+        assert trace_id_of(3, 17) == (3 << 32) | 17
+        assert trace_id_of(3, 17) == trace_id_of(3, 17)
+        assert trace_id_of(3, 17) != trace_id_of(4, 17)
+        assert trace_id_of(3, 17) != trace_id_of(3, 18)
+
+    def test_scope_installs_and_restores_context(self):
+        assert current_trace() is None
+        ctx = TraceContext(42, None, None, 0.0)
+        with trace_scope(ctx) as installed:
+            assert installed is ctx
+            assert current_trace() is ctx
+            inner = ctx.child("parent-span")
+            with trace_scope(inner):
+                assert current_trace() is inner
+                assert current_trace().trace_id == 42
+            assert current_trace() is ctx
+        assert current_trace() is None
+
+
+class TestCausalTreePerRequest:
+    def test_every_crypto_leaf_walks_to_its_request_root(self):
+        recorder, gateway, _ = traced_run()
+        gateway.run()
+        by_index = spans_by_index(recorder)
+
+        roots = [s for s in recorder.spans if s.name == "serve.request"]
+        assert len(roots) == N_REQUESTS
+        assert len({s.trace_id for s in roots}) == N_REQUESTS
+
+        # Every request-plane span — down to the crypto leaves — must
+        # walk its parent links back to exactly the serve.request root
+        # carrying the same deterministic trace id.
+        leaves = [
+            s
+            for s in recorder.spans
+            if s.name in ("crypto.seal", "crypto.unseal")
+            and s.trace_id is not None
+        ]
+        assert leaves, "no traced crypto leaf spans recorded"
+        for leaf in leaves:
+            root = root_of(leaf, by_index)
+            assert root.name == "serve.request"
+            assert root.trace_id == leaf.trace_id
+            names = path_names(leaf, by_index)
+            # gateway admission -> enclave handle -> session -> engine.
+            assert "serve.enclave" in names
+            assert any(n.startswith("sgx.session.") for n in names)
+
+        # One tree per request: every traced span resolves to one of
+        # the N request roots, never to an orphan.
+        traced = [s for s in recorder.spans if s.trace_id is not None]
+        root_ids = {s.index for s in roots}
+        assert {root_of(s, by_index).index for s in traced} == root_ids
+
+    def test_tree_covers_queue_batch_and_session_phases(self):
+        recorder, gateway, _ = traced_run()
+        gateway.run()
+        by_index = spans_by_index(recorder)
+        for root in (s for s in recorder.spans if s.name == "serve.request"):
+            children = {
+                s.name
+                for s in recorder.spans
+                if s.parent_index == root.index
+            }
+            assert "serve.queue_wait" in children
+            assert "serve.dispatch" in children
+            assert "serve.enclave" in children
+        # Session spans hang off the enclave handle, not the root.
+        for name in ("sgx.session.open", "sgx.session.seal"):
+            spans = [s for s in recorder.spans if s.name == name]
+            assert len(spans) == N_REQUESTS
+            for span in spans:
+                assert by_index[span.parent_index].name == "serve.enclave"
+
+    def test_trace_ids_match_session_and_seq(self):
+        recorder, gateway, labels = traced_run()
+        gateway.run()
+        expected = set()
+        for index in range(N_REQUESTS):
+            session_id = 1 + index % N_CLIENTS
+            # Each client numbers its own requests: seq is the per-
+            # session arrival ordinal (InferenceClient starts at 0).
+            seq = index // N_CLIENTS
+            expected.add(trace_id_of(session_id, seq))
+        roots = {
+            s.trace_id
+            for s in recorder.spans
+            if s.name == "serve.request"
+        }
+        assert roots == expected
+
+    def test_latency_histograms_recorded(self):
+        recorder, gateway, _ = traced_run()
+        gateway.run()
+        hists = recorder.counters.histograms_snapshot()
+        for name in ("serve.e2e", "serve.queue_wait"):
+            assert hists[name]["count"] == N_REQUESTS
+        # batch_size is one sample per coalesced batch, not per request.
+        batch_size = hists["serve.batch_size"]
+        assert 1 <= batch_size["count"] <= N_REQUESTS
+        assert batch_size["sum"] == N_REQUESTS
+
+
+class TestRedispatchStaysOneTree:
+    def test_replica_crash_redispatch_joins_the_same_tree(self):
+        # Learn the first batch's in-flight window from a fault-free
+        # run, then kill that replica mid-batch in a traced run.
+        _, gw_ref, _ = traced_run()
+        ref_result = gw_ref.run()
+        batch0 = ref_result.batches[0]
+        kill_at = (batch0.dispatched_at + batch0.completed_at) / 2
+
+        recorder, gateway, _ = traced_run()
+        gateway.schedule_crash(kill_at, batch0.replica)
+        gateway.schedule_repair(kill_at + 5e-3, batch0.replica)
+        result = gateway.run()
+        assert result.redispatches == 1
+
+        by_index = spans_by_index(recorder)
+        redispatches = [
+            s for s in recorder.spans if s.name == "serve.redispatch"
+        ]
+        assert redispatches
+        for span in redispatches:
+            root = root_of(span, by_index)
+            assert root.name == "serve.request"
+            assert root.trace_id == span.trace_id
+        # Even with the retry, the invariant holds: one root per
+        # request, and every request id appears exactly once.
+        roots = [s for s in recorder.spans if s.name == "serve.request"]
+        assert len(roots) == N_REQUESTS
+        assert len({s.trace_id for s in roots}) == N_REQUESTS
+        # The crash itself is on the record for the flight dump.
+        assert recorder.find_events("serve.replica_crash")
+        assert recorder.counters.snapshot()["serve.replica_crashes"] == 1
+
+
+class TestReportDeterminism:
+    def test_same_seed_reports_are_byte_identical(self):
+        def run():
+            recorder, gateway, _ = traced_run()
+            gateway.run()
+            report = build_report_from_recorder(recorder)
+            return render_report_json(report)
+
+        first, second = run(), run()
+        assert first == second  # byte-for-byte
+
+    def test_report_sees_one_tree_per_request(self):
+        recorder, gateway, _ = traced_run()
+        gateway.run()
+        report = build_report_from_recorder(recorder)
+        assert report["traces"]["count"] == N_REQUESTS
+        for tree in report["traces"]["trees"]:
+            assert tree["roots"] == 1
+            assert tree["root_names"] == ["serve.request"]
+            assert tree["max_depth"] >= 3
+            assert "crypto.seal" in tree["names"]
+        assert "serve.e2e" in report["histograms"]
+        assert report["flight"]["total"] > 0
+
+    def test_untraced_run_records_no_request_spans(self):
+        # Tracing off (NULL_RECORDER default): the request plane must
+        # not allocate spans or contexts at all.
+        system, pool, gateway, clients = deployment()
+        submit_all(gateway, clients, _images(N_REQUESTS))
+        gateway.run()
+        assert current_trace() is None
