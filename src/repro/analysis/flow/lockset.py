@@ -1,0 +1,302 @@
+"""RACE001 — interprocedural lockset race detection (Eraser-style).
+
+LCK001 checks lock discipline *lexically*: a mutation of a guarded
+field must sit inside ``with self._lock``.  That misses the shape of
+the PR 7 flight-ring bug — a mutation in a method that is itself only
+ever called with the lock already held is fine, while a lexically
+identical mutation on a path entered from a worker thread races.
+
+This pass computes, per write access to a candidate field, the set of
+locks *known held* at that program point:
+
+* **lexical** locks — enclosing ``with self.<lock>`` blocks;
+* **held-at-entry** locks — a fixpoint over same-class call sites: a
+  private helper only invoked under the lock inherits it; any method
+  that is externally callable, uncalled, or a thread entry point
+  starts with the empty set.
+
+A field is *shared* when at least one access to it happens in a
+function reachable from a thread root (``pool.map``/``executor.submit``
+arguments, ``threading.Thread(target=...)``, gateway
+``schedule_call`` callbacks).  For each shared field the rule
+intersects the locksets of **all write accesses**; an empty
+intersection means no single lock orders the writes, and every access
+with an empty lockset is reported.
+
+Exemptions keep the rule honest on real code:
+
+* fields assigned only in ``__init__``-like constructors (publication
+  via object construction);
+* lock attributes themselves and ``threading.local()`` storage;
+* fields whose inferred type is a project class owning its own lock
+  (internally synchronized — e.g. a counter registry guarding itself).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set
+
+from repro.analysis.flow.callgraph import CallGraph
+from repro.analysis.flow.project import (
+    ClassInfo,
+    FunctionInfo,
+    Project,
+    _self_attr,
+)
+from repro.analysis.lint.config import MUTATING_METHODS, LintConfig
+from repro.analysis.lint.framework import Finding, Severity
+
+RULE_ID = "RACE001"
+SEVERITY = Severity.ERROR
+TITLE = "shared field written without a consistent lock"
+
+#: Methods that run before the object is visible to other threads.
+_CONSTRUCTORS = frozenset({"__init__", "__post_init__", "__new__"})
+
+
+@dataclass
+class Access:
+    """One write access to ``self.<field>``."""
+
+    field: str
+    fn: FunctionInfo
+    node: ast.AST
+    lexical: FrozenSet[str]
+
+
+class LocksetAnalysis:
+    """Held-lock fixpoint + shared-field intersection."""
+
+    def __init__(
+        self, project: Project, graph: CallGraph, config: LintConfig
+    ) -> None:
+        self.project = project
+        self.graph = graph
+        self.config = config
+        self._worker_reachable = graph.reachable_from_roots()
+        #: qualname -> locks held at entry (None = not yet constrained).
+        self._entry: Dict[str, Optional[FrozenSet[str]]] = {}
+
+    # ------------------------------------------------------------------
+    # Access collection
+    # ------------------------------------------------------------------
+    def _class_functions(self, cls: ClassInfo) -> List[FunctionInfo]:
+        return [
+            fn
+            for fn in self.project.functions.values()
+            if fn.owner is not None and fn.owner.qualname == cls.qualname
+        ]
+
+    def _is_exempt_field(self, cls: ClassInfo, field: str) -> bool:
+        if field in cls.lock_attrs or field in cls.thread_local_attrs:
+            return True
+        type_qualname = cls.attr_types.get(field)
+        if type_qualname is not None:
+            field_cls = self.project.classes.get(type_qualname)
+            if field_cls is not None and field_cls.lock_attrs:
+                return True  # internally synchronized
+        return False
+
+    def _write_accesses(self, cls: ClassInfo) -> List[Access]:
+        out: List[Access] = []
+        for fn in self._class_functions(cls):
+            in_ctor = fn.name in _CONSTRUCTORS and fn.parent is None
+            for node in ast.walk(fn.node):
+                field = self._written_field(node)
+                if field is None:
+                    continue
+                if self._is_exempt_field(cls, field):
+                    continue
+                if in_ctor and isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    continue  # construction-time publication
+                out.append(
+                    Access(
+                        field=field,
+                        fn=fn,
+                        node=node,
+                        lexical=self._lexical_locks(fn, node),
+                    )
+                )
+        return out
+
+    def _written_field(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                field = self._store_target_field(target)
+                if field is not None:
+                    return field
+            return None
+        if isinstance(node, ast.AnnAssign):
+            return self._store_target_field(node.target)
+        if isinstance(node, ast.AugAssign):
+            field = _self_attr(node.target)
+            if field is not None:
+                return field
+            return self._store_target_field(node.target)
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in MUTATING_METHODS:
+                return _self_attr(node.func.value)
+        return None
+
+    def _store_target_field(self, target: ast.expr) -> Optional[str]:
+        direct = _self_attr(target)
+        if direct is not None:
+            return direct
+        if isinstance(target, ast.Subscript):
+            return _self_attr(target.value)
+        return None
+
+    def _lexical_locks(
+        self, fn: FunctionInfo, node: ast.AST
+    ) -> FrozenSet[str]:
+        locks: Set[str] = set()
+        owner = fn.owner
+        if owner is None:
+            return frozenset()
+        current: Optional[ast.AST] = node
+        while current is not None and current is not fn.node:
+            parent = fn.src.parents.get(id(current))
+            if isinstance(parent, ast.With):
+                for item in parent.items:
+                    lock = self._lock_expr(owner, item.context_expr)
+                    if lock is not None:
+                        locks.add(lock)
+            current = parent
+        return frozenset(locks)
+
+    def _lock_expr(self, cls: ClassInfo, expr: ast.expr) -> Optional[str]:
+        attr = _self_attr(expr)
+        if attr is not None and attr in cls.lock_attrs:
+            return attr
+        return None
+
+    # ------------------------------------------------------------------
+    # Held-at-entry fixpoint
+    # ------------------------------------------------------------------
+    def entry_locks(self, fn: FunctionInfo) -> FrozenSet[str]:
+        cached = self._entry.get(fn.qualname)
+        return cached if cached is not None else frozenset()
+
+    def _compute_entry_locks(self, classes: List[ClassInfo]) -> None:
+        functions: List[FunctionInfo] = []
+        for cls in classes:
+            functions.extend(self._class_functions(cls))
+        # Seed: thread entries and externally visible methods hold
+        # nothing; everything else starts unconstrained (all locks).
+        state: Dict[str, Optional[FrozenSet[str]]] = {}
+        for fn in functions:
+            state[fn.qualname] = None
+        for _ in range(len(functions) + 2):
+            changed = False
+            for fn in functions:
+                new = self._entry_meet(fn, state)
+                if new != state[fn.qualname]:
+                    state[fn.qualname] = new
+                    changed = True
+            if not changed:
+                break
+        for qualname, locks in state.items():
+            self._entry[qualname] = locks if locks is not None else frozenset()
+
+    def _entry_meet(
+        self,
+        fn: FunctionInfo,
+        state: Dict[str, Optional[FrozenSet[str]]],
+    ) -> Optional[FrozenSet[str]]:
+        if fn.qualname in self.graph.thread_roots:
+            return frozenset()
+        sites = self.graph.callers_of.get(fn.qualname, [])
+        if not sites:
+            return frozenset()  # uncalled: assume external entry
+        owner = fn.owner
+        meet: Optional[FrozenSet[str]] = None
+        for site in sites:
+            caller = site.caller
+            same_class = (
+                owner is not None
+                and caller.owner is not None
+                and caller.owner.qualname == owner.qualname
+            )
+            if not same_class:
+                return frozenset()  # called from outside the class
+            caller_entry = state.get(caller.qualname)
+            lexical = self._lexical_locks(caller, site.node)
+            if caller_entry is None:
+                continue  # unconstrained caller: no restriction yet
+            held = caller_entry | lexical
+            meet = held if meet is None else (meet & held)
+        return meet
+
+    # ------------------------------------------------------------------
+    # Findings
+    # ------------------------------------------------------------------
+    def findings(self) -> Iterator[Finding]:
+        classes = [
+            cls for cls in self.project.classes.values() if cls.lock_attrs
+        ]
+        if not classes:
+            return
+        self._compute_entry_locks(classes)
+        for cls in sorted(classes, key=lambda c: c.qualname):
+            yield from self._check_class(cls)
+
+    def _check_class(self, cls: ClassInfo) -> Iterator[Finding]:
+        accesses = self._write_accesses(cls)
+        by_field: Dict[str, List[Access]] = {}
+        for access in accesses:
+            by_field.setdefault(access.field, []).append(access)
+        for field, field_accesses in sorted(by_field.items()):
+            shared = any(
+                a.fn.qualname in self._worker_reachable
+                for a in field_accesses
+            )
+            if not shared:
+                continue
+            locksets = [
+                a.lexical | self.entry_locks(a.fn) for a in field_accesses
+            ]
+            common: FrozenSet[str] = locksets[0]
+            for lockset in locksets[1:]:
+                common &= lockset
+            if common:
+                continue
+            emitted = False
+            for access, lockset in zip(field_accesses, locksets):
+                if lockset:
+                    continue
+                emitted = True
+                yield Finding(
+                    rule_id=RULE_ID,
+                    severity=SEVERITY,
+                    path=str(access.fn.src.path),
+                    line=getattr(access.node, "lineno", 1),
+                    col=getattr(access.node, "col_offset", 0),
+                    message=(
+                        f"field '{field}' of {cls.name} is written on a "
+                        "worker-thread-reachable path with no lock held; "
+                        "other writes do not share a common lock either "
+                        f"(class lock(s): {', '.join(sorted(cls.lock_attrs))})"
+                    ),
+                    module=access.fn.module,
+                )
+            if not emitted:
+                # Every access holds *a* lock, but not the same one:
+                # the writes are still unordered with respect to each
+                # other.  Report once, at the first access.
+                first = field_accesses[0]
+                held = ", ".join(sorted(locksets[0])) or "none"
+                yield Finding(
+                    rule_id=RULE_ID,
+                    severity=SEVERITY,
+                    path=str(first.fn.src.path),
+                    line=getattr(first.node, "lineno", 1),
+                    col=getattr(first.node, "col_offset", 0),
+                    message=(
+                        f"writes to field '{field}' of {cls.name} hold "
+                        "locks, but no single lock is common to all "
+                        f"access paths (this write holds: {held})"
+                    ),
+                    module=first.fn.module,
+                )

@@ -147,6 +147,15 @@ UNTRUSTED_MODULES: Tuple[str, ...] = (
     "repro.analysis.lint.rules_flt",
     "repro.analysis.lint.reporters",
     "repro.analysis.lint.runner",
+    # The interprocedural flow engine (PR 8) is analysis tooling like
+    # the per-module linter above: it runs at review time, outside any
+    # enclave boundary.
+    "repro.analysis.flow.project",
+    "repro.analysis.flow.callgraph",
+    "repro.analysis.flow.taint",
+    "repro.analysis.flow.durability",
+    "repro.analysis.flow.lockset",
+    "repro.analysis.flow.engine",
     "repro.cli",
     # The fault-injection engine is test harness, not enclave code: it
     # drives the system from outside (the attacker/operator position),

@@ -110,6 +110,12 @@ UNTRUSTED_MODULES = (
     "repro.analysis.lint.rules_flt",
     "repro.analysis.lint.reporters",
     "repro.analysis.lint.runner",
+    "repro.analysis.flow.project",
+    "repro.analysis.flow.callgraph",
+    "repro.analysis.flow.taint",
+    "repro.analysis.flow.durability",
+    "repro.analysis.flow.lockset",
+    "repro.analysis.flow.engine",
     "repro.cli",
     # Fault-injection harness: drives the system from the operator /
     # attacker position, hence outside the enclave TCB.

@@ -1,0 +1,35 @@
+# repro: lint-module[repro.romulus.fixture_bad]
+"""DUR001 fire fixture: both publication-ordering bug shapes.
+
+``format_region`` reproduces PR 4's region bug interprocedurally: the
+writes and the (misordered) persists live in separate helpers, and only
+the composed effect sequence shows the magic flushed while the payload
+is still dirty.  ``load_table`` reproduces PR 4's pm-data bug: the root
+is published in the first transaction, before the payload rows commit.
+"""
+
+MAGIC = b"PMFIX001"
+
+
+def _write_all(device, region, payload):
+    device.write(region.base, MAGIC)
+    device.write(region.data_base, payload)
+
+
+def _persist_wrong(device, region, payload):
+    device.flush(region.base, 8)
+    device.fence()
+    device.flush(region.data_base, len(payload))
+    device.fence()
+
+
+def format_region(device, region, payload):
+    _write_all(device, region, payload)
+    _persist_wrong(device, region, payload)
+
+
+def load_table(region, rows):
+    with region.begin_transaction() as tx:
+        tx.write_u64(region.root_offset(0), 4096)
+    with region.begin_transaction() as tx:
+        tx.write(4096, rows)

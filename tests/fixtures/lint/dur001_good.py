@@ -1,0 +1,41 @@
+# repro: lint-module[repro.romulus.fixture_good]
+"""DUR001 silent fixture: the same operations, correctly ordered.
+
+The payload is flushed and fenced before the magic-bearing header is
+published, and the root pointer is written only after the row payload's
+transaction has committed.  Clearing a root (writing 0) is an
+*unpublication* and may be followed by further writes.
+"""
+
+MAGIC = b"PMFIX001"
+
+
+def _write_all(device, region, payload):
+    device.write(region.base, MAGIC)
+    device.write(region.data_base, payload)
+
+
+def _persist_right(device, region, payload):
+    device.flush(region.data_base, len(payload))
+    device.fence()
+    device.flush(region.base, 8)
+    device.fence()
+
+
+def format_region(device, region, payload):
+    _write_all(device, region, payload)
+    _persist_right(device, region, payload)
+
+
+def load_table(region, rows):
+    with region.begin_transaction() as tx:
+        tx.write(4096, rows)
+    with region.begin_transaction() as tx:
+        tx.write_u64(region.root_offset(0), 4096)
+
+
+def drop_table(region, scratch):
+    with region.begin_transaction() as tx:
+        tx.write_u64(region.root_offset(0), 0)
+    with region.begin_transaction() as tx:
+        tx.write(4096, scratch)

@@ -1,0 +1,32 @@
+"""RACE001 fire fixture: the PR 7 flight-ring bug shape.
+
+``_observe`` runs on pool worker threads (it is the ``pool.map``
+callable) and appends to ``self.ring`` — and *no* access to ``ring``
+anywhere in the class takes the lock.  LCK001 cannot express this: its
+self-calibration needs at least one guarded mutation of the field to
+learn it is lock-protected, so a field that is consistently *never*
+locked is invisible to it.  Only the interprocedural thread-entry
+analysis sees that ``_observe`` is a concurrent entry point and that
+the write locksets for ``ring`` are empty.
+"""
+
+import threading
+
+
+class Recorder:
+    def __init__(self, pool):
+        self._lock = threading.Lock()
+        self.ring = []
+        self.total = 0
+        self.pool = pool
+
+    def _observe(self, value):
+        self.ring.append(value)
+
+    def record(self, value):
+        self.ring.append(value)
+        with self._lock:
+            self.total += 1
+
+    def run_jobs(self, jobs):
+        self.pool.map(self._observe, jobs)

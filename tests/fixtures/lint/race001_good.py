@@ -1,0 +1,30 @@
+"""RACE001 silent fixture: every write path shares the class lock.
+
+``_append`` itself takes no lock, but the held-at-entry fixpoint
+proves both of its same-class callers invoke it under ``self._lock``,
+so its lockset is non-empty on every path — including the worker-thread
+entry through ``_observe``.
+"""
+
+import threading
+
+
+class Recorder:
+    def __init__(self, pool):
+        self._lock = threading.Lock()
+        self.ring = []
+        self.pool = pool
+
+    def _append(self, value):
+        self.ring.append(value)
+
+    def _observe(self, value):
+        with self._lock:
+            self._append(value)
+
+    def record(self, value):
+        with self._lock:
+            self._append(value)
+
+    def run_jobs(self, jobs):
+        self.pool.map(self._observe, jobs)

@@ -1,0 +1,17 @@
+"""Helper module for the SEC101 cross-module taint fixtures.
+
+Neither function is a taint source or a sink by *name*: SEC001's
+name-based heuristics see nothing here.  Only interprocedural
+summaries reveal that ``frame_rows`` forwards its argument's taint to
+its return value and that ``persist_blob`` hands its argument to a
+transactional write sink.
+"""
+
+
+def frame_rows(rows):
+    header = len(rows).to_bytes(8, "little")
+    return header + rows
+
+
+def persist_blob(tx, blob):
+    tx.write(0, blob)
