@@ -174,6 +174,17 @@ UNTRUSTED_MODULES: Tuple[str, ...] = (
     "repro.serving.batcher",
     "repro.serving.replica_pool",
     "repro.serving.admission",
+    # The simulated-cluster substrate models hosts, wires, and the
+    # event loop — operator-side infrastructure around the enclaves,
+    # never code running inside one.  It stays DET-governed: the whole
+    # point of the substrate is deterministic same-seed replay.
+    "repro.cluster.loop",
+    "repro.cluster.host",
+    "repro.cluster.network",
+    "repro.cluster.link",
+    "repro.cluster.worker",
+    "repro.cluster.fabric",
+    "repro.cluster.runtime",
 )
 
 # ----------------------------------------------------------------------

@@ -131,6 +131,15 @@ UNTRUSTED_MODULES = (
     "repro.serving.batcher",
     "repro.serving.replica_pool",
     "repro.serving.admission",
+    # Simulated-cluster substrate: hosts, network, event loop — the
+    # operator-side machinery around the enclaves, outside the TCB.
+    "repro.cluster.loop",
+    "repro.cluster.host",
+    "repro.cluster.network",
+    "repro.cluster.link",
+    "repro.cluster.worker",
+    "repro.cluster.fabric",
+    "repro.cluster.runtime",
 )
 
 #: Extra runtime LoC an all-in-enclave design drags in.  The paper's

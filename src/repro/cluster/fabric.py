@@ -1,0 +1,58 @@
+"""Host placement of one serving deployment on the cluster substrate.
+
+The gateway tier and its replicas live on named hosts; the fabric maps a
+replica index to its host and exposes the two control-plane fault
+barriers the gateway consults:
+
+* :meth:`dispatch_barrier` — the gateway -> replica edge a coalesced
+  batch crosses.  An injected ``cluster.partition`` drop means the
+  dispatch never reached the replica; the gateway retries on another
+  replica under its exactly-once rule (routing around the partition).
+* :meth:`completion_barrier` — the replica -> gateway edge the
+  completion notification crosses.  An injected ``cluster.deliver`` drop
+  means the replica finished but the gateway never heard; the batch is
+  redispatched, and response nonces pinned by ``(session, seq)`` keep
+  the rerun's bytes identical so clients still see exactly one reply.
+
+Both barriers are sim-time free, so attaching a fabric changes nothing
+about fault-free runs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+class ServingFabric:
+    """Gateway-to-replica network placement for one deployment."""
+
+    def __init__(
+        self,
+        cluster,
+        gateway_host: str,
+        replica_hosts: Sequence[str],
+    ) -> None:
+        if not replica_hosts:
+            raise ValueError("a serving fabric needs at least one replica host")
+        self.network = cluster.network
+        self.gateway_host = gateway_host
+        self.replica_hosts = tuple(replica_hosts)
+        for replica_host in self.replica_hosts:
+            if not self.network.connected(gateway_host, replica_host):
+                self.network.connect(gateway_host, replica_host)
+
+    def host_of(self, replica_index: int) -> str:
+        """The host serving replica ``replica_index``."""
+        return self.replica_hosts[replica_index % len(self.replica_hosts)]
+
+    def dispatch_barrier(self, replica_index: int) -> None:
+        """Fault barrier on the gateway -> replica dispatch edge."""
+        self.network.barrier_send(
+            self.gateway_host, self.host_of(replica_index)
+        )
+
+    def completion_barrier(self, replica_index: int) -> None:
+        """Fault barrier on the replica -> gateway completion edge."""
+        self.network.barrier_deliver(
+            self.host_of(replica_index), self.gateway_host
+        )

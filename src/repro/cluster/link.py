@@ -1,0 +1,43 @@
+"""A secure inter-enclave link whose wire is a cluster network edge.
+
+:class:`ClusterLink` keeps the legacy
+:class:`~repro.distributed.link.SecureLink` crypto framing, fault sites
+(``link.send`` / ``link.recv``), and stats byte-for-byte, but routes the
+transit through :meth:`~repro.cluster.network.ClusterNetwork.transmit`:
+the edge's latency/bandwidth pay the cost on the shared clock, and the
+``cluster.partition`` / ``cluster.deliver`` fault coordinates apply on
+top of the legacy link sites.  Fault-free, a transfer over a
+default-parameter edge is bit-identical to the legacy link — the
+differential tests depend on it.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.network import ClusterNetwork
+from repro.crypto.engine import EncryptionEngine
+from repro.distributed.link import SecureLink
+
+
+class ClusterLink(SecureLink):
+    """A sealed channel between two named hosts of a cluster."""
+
+    def __init__(
+        self,
+        engine: EncryptionEngine,
+        network: ClusterNetwork,
+        src: str,
+        dst: str,
+    ) -> None:
+        edge = network.link(src, dst)
+        super().__init__(
+            engine,
+            network.clock,
+            bandwidth=edge.bandwidth,
+            latency=edge.latency,
+        )
+        self.network = network
+        self.src = src
+        self.dst = dst
+
+    def _transit(self, sealed: bytes) -> None:
+        self.network.transmit(self.src, self.dst, sealed)

@@ -1,0 +1,118 @@
+"""A simulated deployment: hosts + network + one event loop.
+
+:class:`Cluster` assembles the substrate pieces around one shared
+:class:`~repro.simtime.clock.SimClock`: named
+:class:`~repro.cluster.host.Host` members, the
+:class:`~repro.cluster.network.ClusterNetwork` wiring them, and the
+:class:`~repro.cluster.loop.EventLoop` everything schedules onto (with
+the ``cluster.host_kill`` barrier armed, since the loop belongs to a
+deployment with killable hosts).
+
+Crash/repair is cluster-wide by composition: :meth:`power_fail` fails
+every host (durable PM/SSD state survives, enclaves and in-flight
+network state do not), and :meth:`boot` stands up a fresh event loop,
+rebinds the network to it, and marks the hosts back up — the caller
+then re-attaches regions via the hosts' recovery entry points.
+
+An *installed* cluster is a process default like the obs recorder or
+the active fault plan: :func:`install_cluster` makes a topology ambient
+so components (the inference gateway) ride its event loop without
+explicit plumbing.  The same leak discipline applies — tests restore
+the previous value or the conftest guard fails them by name.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterator, Optional
+
+from repro.cluster.host import Host
+from repro.cluster.loop import EventLoop
+from repro.cluster.network import ClusterNetwork
+from repro.simtime.clock import SimClock
+from repro.simtime.profiles import ServerProfile
+
+
+class Cluster:
+    """All the simulated machines and wires of one deployment."""
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self.hosts: Dict[str, Host] = {}
+        self.loop = EventLoop(self.clock, kill_barrier=True)
+        self.network = ClusterNetwork(self.clock, loop=self.loop)
+
+    # ------------------------------------------------------------------
+    def add_host(
+        self,
+        name: str,
+        profile: ServerProfile,
+        pm_size: Optional[int] = None,
+        with_ssd: bool = False,
+    ) -> Host:
+        """Create and register a named host."""
+        if name in self.hosts:
+            raise ValueError(f"host {name!r} already exists")
+        host = Host(
+            name, self.clock, profile, pm_size=pm_size, with_ssd=with_ssd
+        )
+        self.hosts[name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown host {name!r}; members: {sorted(self.hosts)}"
+            ) from None
+
+    def connect(self, a: str, b: str, **kwargs) -> None:
+        """Wire two hosts (see :meth:`ClusterNetwork.connect`)."""
+        self.network.connect(a, b, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Cluster-wide crash / repair
+    # ------------------------------------------------------------------
+    def power_fail(self) -> None:
+        """Fail-stop every host; durable state survives, nothing else."""
+        for host in self.hosts.values():
+            host.power_fail()
+
+    def boot(self) -> EventLoop:
+        """Stand the deployment back up with a fresh event loop."""
+        self.loop = EventLoop(self.clock, kill_barrier=True)
+        self.network.rebind(self.loop)
+        for host in self.hosts.values():
+            host.boot()
+        return self.loop
+
+
+# ----------------------------------------------------------------------
+# The installable process default (null by default, like the fault plan)
+# ----------------------------------------------------------------------
+
+_ACTIVE: Optional[Cluster] = None
+
+
+def install_cluster(cluster: Optional[Cluster]) -> Optional[Cluster]:
+    """Make ``cluster`` the ambient topology; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = cluster
+    return previous
+
+
+def get_active_cluster() -> Optional[Cluster]:
+    """The ambient topology, or ``None`` when none is installed."""
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def installed_cluster(cluster: Cluster) -> Iterator[Cluster]:
+    """Scope an ambient topology, restoring the previous on exit."""
+    previous = install_cluster(cluster)
+    try:
+        yield cluster
+    finally:
+        install_cluster(previous)

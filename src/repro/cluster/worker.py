@@ -1,0 +1,69 @@
+"""A pipeline stage worker placed on a cluster host.
+
+:class:`ClusterWorker` is the legacy
+:class:`~repro.distributed.worker.StageWorker` with its hardware
+ownership moved to a :class:`~repro.cluster.host.Host`: the PM device is
+the host's (durable across host death), the enclave is spawned on the
+host (dies with it), and region attach goes through the host's
+``open_region`` / ``format_region`` entry points — the seam the
+``host-reboot-skip-recovery`` mutant breaks.  Compute, mirroring, fault
+sites, and costs are inherited unchanged, so same-seed runs are
+byte-identical to a legacy worker (the differential tests assert it).
+
+``kill`` / ``resume`` become host power-fail / host boot: killing the
+worker now *is* killing its host, which is the semantics the
+``cluster.host_kill`` fault coordinate injects.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.host import Host
+from repro.distributed.worker import ModelBuilder, StageWorker, sized_worker_pm
+from repro.romulus.region import RomulusRegion
+from repro.sgx.enclave import Enclave
+
+
+class ClusterWorker(StageWorker):
+    """One stage of a distributed job, resident on a named host."""
+
+    def __init__(
+        self,
+        host: Host,
+        build_model: ModelBuilder,
+        job_key: bytes,
+        seed: int = 7,
+    ) -> None:
+        self.host = host
+        if host.pm is None:
+            # Size the host's PM off a probe build; builders are
+            # internally seeded, so the probe is free of side effects.
+            host.ensure_pm(sized_worker_pm(build_model().param_bytes))
+        super().__init__(
+            host.name,
+            host.profile,
+            build_model,
+            job_key,
+            clock=host.clock,
+            seed=seed,
+            pm=host.pm,
+        )
+
+    # ------------------------------------------------------------------
+    def _spawn_enclave(self) -> Enclave:
+        return self.host.spawn_enclave()
+
+    def _format_region(self, main_size: int) -> RomulusRegion:
+        return self.host.format_region(main_size)
+
+    def _open_region(self) -> RomulusRegion:
+        return self.host.open_region()
+
+    # ------------------------------------------------------------------
+    def kill(self) -> None:
+        """The worker's host dies: enclave destroyed, PM power-fails."""
+        self.host.power_fail()
+
+    def resume(self) -> int:
+        """Host reboot: fresh enclave + Romulus recovery from host PM."""
+        self.host.boot()
+        return super().resume()

@@ -39,6 +39,12 @@ class SecureLink:
 
     def send_array(self, array: np.ndarray) -> bytes:
         """Seal a tensor for the wire; returns the ciphertext message."""
+        sealed = self._seal_array(array)
+        self._transit(sealed)
+        return sealed
+
+    def _seal_array(self, array: np.ndarray) -> bytes:
+        """Frame + seal a tensor (the enclave-side half of a send)."""
         active = faultplan.ACTIVE
         if active.enabled:
             active.check("link.send")
@@ -51,8 +57,12 @@ class SecureLink:
         sealed = self.engine.seal(payload, aad=b"inter-enclave-tensor")
         self.stats["messages"] += 1
         self.stats["bytes"] += len(sealed)
-        self.clock.advance(self.latency + len(sealed) / self.bandwidth)
         return sealed
+
+    def _transit(self, sealed: bytes) -> None:
+        """Charge the wire cost (``repro.cluster`` links route this
+        through the network substrate instead)."""
+        self.clock.advance(self.latency + len(sealed) / self.bandwidth)
 
     def receive_array(self, message: bytes) -> np.ndarray:
         """Unseal a tensor received from the peer enclave."""

@@ -32,6 +32,11 @@ from repro.simtime.profiles import ServerProfile
 ModelBuilder = Callable[[], Network]
 
 
+def sized_worker_pm(param_bytes: int) -> int:
+    """PM bytes a stage worker needs: two mirror snapshots + heap slack."""
+    return 2 * (2 * param_bytes + (4 << 20)) + 8192
+
+
 class StageWorker:
     """One secure machine participating in a distributed training job."""
 
@@ -44,6 +49,7 @@ class StageWorker:
         clock: Optional[SimClock] = None,
         pm_size: Optional[int] = None,
         seed: int = 7,
+        pm: Optional[PersistentMemoryDevice] = None,
     ) -> None:
         self.name = name
         self.profile = profile
@@ -52,31 +58,49 @@ class StageWorker:
         self.clock = clock if clock is not None else SimClock()
         self.rand = SgxRandom(name.encode() + seed.to_bytes(4, "big"))
         self.network = build_model()
-        if pm_size is None:
-            pm_size = 2 * (2 * self.network.param_bytes + (4 << 20)) + 8192
-        self.pm = PersistentMemoryDevice(
-            pm_size,
-            self.clock,
-            profile.pm,
-            clflush_cost=profile.clflush_cost,
-            clflushopt_cost=profile.clflushopt_cost,
-            sfence_cost=profile.sfence_cost,
-            store_cost=profile.store_cost,
-            load_cost=profile.load_cost,
-        )
+        if pm is not None:
+            # A host-owned device (the cluster substrate hands the
+            # worker its host's PM so durable state survives the host).
+            self.pm = pm
+        else:
+            if pm_size is None:
+                pm_size = sized_worker_pm(self.network.param_bytes)
+            self.pm = PersistentMemoryDevice(
+                pm_size,
+                self.clock,
+                profile.pm,
+                clflush_cost=profile.clflush_cost,
+                clflushopt_cost=profile.clflushopt_cost,
+                sfence_cost=profile.sfence_cost,
+                store_cost=profile.store_cost,
+                load_cost=profile.load_cost,
+            )
         self._attach(fresh=True)
         self.mirror.alloc_mirror_model(self.network)
 
     # ------------------------------------------------------------------
+    # Attachment seams — the cluster substrate's worker overrides these
+    # to route enclave spawn and region attach through its Host, without
+    # changing what happens (same constructors, same recovery).
+    # ------------------------------------------------------------------
+    def _spawn_enclave(self) -> Enclave:
+        return Enclave(self.clock, self.profile.sgx)
+
+    def _format_region(self, main_size: int) -> RomulusRegion:
+        return RomulusRegion(self.pm, main_size).format()
+
+    def _open_region(self) -> RomulusRegion:
+        return RomulusRegion.open(self.pm)
+
     def _attach(self, fresh: bool) -> None:
-        self.enclave = Enclave(self.clock, self.profile.sgx)
+        self.enclave = self._spawn_enclave()
         self.enclave.malloc("stage", self.network.param_bytes)
         self.engine = EncryptionEngine(self.job_key, rand=self.rand)
         main_size = (self.pm.size - HEADER_SIZE) // 2
         if fresh:
-            self.region = RomulusRegion(self.pm, main_size).format()
+            self.region = self._format_region(main_size)
         else:
-            self.region = RomulusRegion.open(self.pm)
+            self.region = self._open_region()
         self.heap = PersistentHeap(self.region)
         self.mirror = MirrorModule(
             self.region, self.heap, self.engine, self.enclave, self.profile

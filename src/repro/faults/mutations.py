@@ -22,17 +22,24 @@ The mutants (and the invariant expected to catch them):
 * ``no-mac-check`` — integrity failures are swallowed and zero-filled
   plaintext returned.  Caught by tamper-evidence (I7) and by the loss
   trajectory diverging once garbage enters training (I3).
+* ``host-reboot-skip-recovery`` — a cluster host's region attach maps
+  the region without running Romulus recovery, so a reboot after a
+  mid-transaction crash trusts a half-mutated main twin.  Caught by the
+  recovery-count invariant (I4: every substrate reboot must run exactly
+  one recovery) and by stale/torn state downstream (I1/I2/I6).
 """
 
 from __future__ import annotations
 
 import contextlib
+import struct
 from typing import Callable, Dict, Iterator
 
+from repro.cluster.host import Host
 from repro.crypto.backend import IntegrityError
 from repro.crypto.engine import IV_SIZE, SEAL_OVERHEAD, EncryptionEngine
 from repro.faults import plan as faultplan
-from repro.romulus.region import RegionState, RomulusRegion
+from repro.romulus.region import MAGIC, RegionState, RomulusRegion
 from repro.romulus.transaction import Transaction
 
 
@@ -135,12 +142,39 @@ def _no_mac_check() -> Iterator[None]:
         EncryptionEngine.unseal_from = original_unseal_from
 
 
+@contextlib.contextmanager
+def _host_reboot_skip_recovery() -> Iterator[None]:
+    original = Host.open_region
+
+    def broken_open_region(self) -> RomulusRegion:
+        if self.pm is None:
+            raise RuntimeError(f"host {self.name!r} has no PM device")
+        if self.pm.read(0, 8) != MAGIC:
+            raise ValueError(
+                "no Romulus region found on this host's device"
+            )
+        main_size = struct.unpack("<Q", self.pm.read(16, 8))[0]
+        region = RomulusRegion(self.pm, main_size)
+        # BUG: the reboot maps the region without running Romulus
+        # recovery — no restore, no recovery counter; a crash that
+        # landed mid-transaction leaves main half-mutated and trusted.
+        region.active_transaction = False
+        return region
+
+    Host.open_region = broken_open_region
+    try:
+        yield
+    finally:
+        Host.open_region = original
+
+
 #: name -> context-manager factory installing the broken variant.
 MUTANTS: Dict[str, Callable[[], "contextlib.AbstractContextManager"]] = {
     "commit-idle-before-copy": _commit_idle_before_copy,
     "recovery-skip-restore": _recovery_skip_restore,
     "reuse-iv": _reuse_iv,
     "no-mac-check": _no_mac_check,
+    "host-reboot-skip-recovery": _host_reboot_skip_recovery,
 }
 
 

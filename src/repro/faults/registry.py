@@ -45,7 +45,7 @@ class FaultSite:
     """One named injection point."""
 
     name: str
-    layer: str  #: hw | romulus | sgx | crypto | distributed | serving
+    layer: str  #: hw | romulus | sgx | crypto | distributed | serving | cluster
     kinds: Tuple[str, ...]
     api: str  #: "check" or "mutate"
     description: str
@@ -119,6 +119,21 @@ SITES: Dict[str, FaultSite] = {
         _site("serve.reload", "serving", (CRASH,), "check",
               "between generations during a replica hot-reload, "
               "before mirror_in swaps the served weights"),
+        # ----------------------------------------------------- cluster
+        _site("cluster.host_kill", "cluster", (CRASH,), "check",
+              "host power failure: at a host barrier (boot, step) or "
+              "before the substrate event loop handles its next event; "
+              "reboot is a fresh enclave + Romulus recovery from that "
+              "host's PM"),
+        _site("cluster.partition", "cluster", (DROP,), "check",
+              "before a message (or a dispatch) enters a network link; "
+              "DROP partitions the link — queued messages are held and "
+              "delivered only at heal, a dispatch is retried on "
+              "another replica"),
+        _site("cluster.deliver", "cluster", (CRASH, DROP), "check",
+              "at the receiving NIC, after transit cost is paid; DROP "
+              "loses the in-flight message (a completion notification "
+              "is redispatched), CRASH kills the receiving host"),
     )
 }
 

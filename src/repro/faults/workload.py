@@ -24,6 +24,17 @@ Three workloads cover the whole instrumented surface:
   ``serve.*`` sites (plus the ``crypto.*``/``pm.*``/``romulus.*`` hits
   of in-band sealing and the generation-2 mirror commit).
 
+All three machines are deployments on the shared simulated-cluster
+substrate (:mod:`repro.cluster`): durable hardware lives on named
+:class:`~repro.cluster.host.Host` members, region attach goes through
+the hosts' ``open_region``/``format_region`` recovery entry points (the
+seam the ``host-reboot-skip-recovery`` mutant breaks), datasets and
+tensors cross :class:`~repro.cluster.network.ClusterNetwork` edges, and
+a crash is a host power failure.  That puts the ``cluster.host_kill``,
+``cluster.partition`` and ``cluster.deliver`` coordinates in every
+workload's golden census, so the explorer can kill a host or cut a wire
+at any instrumented point of all three scenarios.
+
 Determinism contract: every run builds a fresh machine from fixed seeds,
 so the n-th arrival at a fault point is the same program state in the
 golden run and in every replay.  Anything nondeterministic (wall-clock,
@@ -40,6 +51,9 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.cluster.fabric import ServingFabric
+from repro.cluster.link import ClusterLink
+from repro.cluster.runtime import Cluster
 from repro.core.mirror import MirrorModule
 from repro.core.models import build_mnist_cnn
 from repro.core.pm_data import PmDataModule
@@ -60,11 +74,9 @@ from repro.faults.plan import (
 )
 from repro.faults.registry import FLIP
 from repro.faults import invariants
-from repro.hw.pmem import PersistentMemoryDevice
-from repro.hw.ssd import BlockDevice
 from repro.obs.recorder import TraceRecorder
 from repro.romulus.alloc import PersistentHeap
-from repro.romulus.region import HEADER_SIZE, MAGIC, RomulusRegion
+from repro.romulus.region import HEADER_SIZE, MAGIC
 from repro.sgx.ecall import EnclaveRuntime
 from repro.sgx.enclave import Enclave
 # repro: noqa[SEC002] -- the fault workloads assemble a full secure
@@ -82,6 +94,10 @@ KEY_FILE = "sealed_key.bin"
 #: A replay injects exactly one fault, so legitimate runs need at most
 #: one extra boot (plus one more for a fail-stop integrity rejection).
 MAX_REBOOTS = 4
+
+#: Bounded retries for the dataset fetch over the cluster wire
+#: (reliable transport over a lossy link, like the link workload's).
+MAX_FETCH_ATTEMPTS = 4
 
 
 @dataclass
@@ -145,24 +161,26 @@ def params_digest(network) -> str:
 
 
 class _TrainMachine:
-    """Durable hardware plus the run-level bookkeeping of one replay."""
+    """Durable hardware plus the run-level bookkeeping of one replay.
+
+    A two-host deployment: the ``trainer`` host owns the PM region and
+    the sealed-key SSD; the ``datastore`` host serves the encrypted
+    training matrix over a network edge on first load.
+    """
 
     def __init__(self, pm_size: int, server: str, seed: int) -> None:
         self.profile = get_profile(server)
         self.clock = SimClock()
         self.recorder = TraceRecorder()
         self.clock.recorder = self.recorder
-        self.pm = PersistentMemoryDevice(
-            pm_size,
-            self.clock,
-            self.profile.pm,
-            clflush_cost=self.profile.clflush_cost,
-            clflushopt_cost=self.profile.clflushopt_cost,
-            sfence_cost=self.profile.sfence_cost,
-            store_cost=self.profile.store_cost,
-            load_cost=self.profile.load_cost,
+        self.cluster = Cluster(self.clock)
+        self.host = self.cluster.add_host(
+            "trainer", self.profile, pm_size=pm_size, with_ssd=True
         )
-        self.ssd = BlockDevice(self.clock, self.profile.ssd)
+        self.cluster.add_host("datastore", self.profile)
+        self.cluster.connect("trainer", "datastore")
+        self.pm = self.host.pm
+        self.ssd = self.host.ssd
         self.rand = SgxRandom(b"faults-train-" + seed.to_bytes(4, "big"))
         self.device_key = hashlib.sha256(
             b"faults-platform-" + seed.to_bytes(4, "big")
@@ -177,8 +195,7 @@ class _TrainMachine:
         self.params_digest = ""
 
     def power_fail(self) -> None:
-        self.pm.crash()
-        self.ssd.crash()
+        self.cluster.power_fail()
 
 
 class _TrackedMirror(MirrorModule):
@@ -380,9 +397,40 @@ class TrainWorkload:
         return outcome
 
     # ------------------------------------------------------------------
+    def _fetch_dataset(self, m: _TrainMachine) -> DataMatrix:
+        """Pull the training matrix from the datastore over the wire.
+
+        Bounded retries model a reliable-transport layer over a lossy
+        link, exactly like the link workload's transfer loop; the wire
+        key and IV stream are seeded so retransmissions are
+        deterministic.
+        """
+        matrix = self._data_matrix()
+        wire_key = hashlib.sha256(
+            b"faults-data-key-" + self.seed.to_bytes(4, "big")
+        ).digest()[:16]
+        engine = EncryptionEngine(
+            wire_key,
+            rand=SgxRandom(b"faults-data-" + self.seed.to_bytes(4, "big")),
+            observer=m.recorder,
+        )
+        link = ClusterLink(engine, m.cluster.network, "datastore", "trainer")
+        for _ in range(MAX_FETCH_ATTEMPTS):
+            try:
+                x = link.transfer(matrix.x)
+                y = link.transfer(matrix.y)
+            except InjectedLinkDrop:
+                continue
+            return DataMatrix(x, y)
+        raise RuntimeError(
+            f"dataset fetch failed after {MAX_FETCH_ATTEMPTS} attempts"
+        )
+
     def _boot(self, m: _TrainMachine, violations: List[str]) -> None:
         """One boot: provision key, attach region, train to target."""
-        enclave = Enclave(m.clock, m.profile.sgx)
+        m.cluster.boot()
+        m.host.barrier()
+        enclave = m.host.spawn_enclave()
         runtime = EnclaveRuntime(enclave)
         runtime.register_ecall(
             "seal_key",
@@ -420,7 +468,7 @@ class TrainWorkload:
         main_size = (m.pm.size - HEADER_SIZE) // 2
         before = m.recorder.counters.get("romulus.recoveries")
         if m.pm.read(0, 8) == MAGIC:
-            region = RomulusRegion.open(m.pm)
+            region = m.host.open_region()
             err = invariants.recovery_count_delta(
                 before, m.recorder.counters.get("romulus.recoveries")
             )
@@ -434,7 +482,7 @@ class TrainWorkload:
                 violations.append(
                     "I1: a formatted region lost its magic after a crash"
                 )
-            region = RomulusRegion(m.pm, main_size).format()
+            region = m.host.format_region(main_size)
             m.format_completed = True
 
         heap = PersistentHeap(region)
@@ -446,7 +494,7 @@ class TrainWorkload:
                 violations.append(
                     "I6: the loaded training dataset vanished after a crash"
                 )
-            pm_data.load(self._data_matrix(), encrypted=True)
+            pm_data.load(self._fetch_dataset(m), encrypted=True)
             m.data_load_completed = True
 
         mirror = _TrackedMirror(region, heap, engine, enclave, m.profile)
@@ -485,16 +533,24 @@ class TrainWorkload:
 
 
 class _LinkMachine:
-    """One stage worker plus its secure link (built fault-free)."""
+    """One stage worker plus its secure link (built fault-free).
+
+    The worker lives on host ``w0``; the link's far end is the ``peer``
+    host, so the wire is a real cluster edge with the
+    ``cluster.partition``/``cluster.deliver`` coordinates on it.
+    """
 
     def __init__(self, batch: int, seed: int, server: str):
-        from repro.distributed.link import SecureLink
-        from repro.distributed.worker import StageWorker
+        from repro.cluster.worker import ClusterWorker
 
         profile = get_profile(server)
         self.clock = SimClock()
         self.recorder = TraceRecorder()
         self.clock.recorder = self.recorder
+        self.cluster = Cluster(self.clock)
+        self.host = self.cluster.add_host("w0", profile)
+        self.cluster.add_host("peer", profile)
+        self.cluster.connect("w0", "peer")
         job_key = hashlib.sha256(
             b"faults-job-" + seed.to_bytes(4, "big")
         ).digest()[:16]
@@ -510,13 +566,13 @@ class _LinkMachine:
             # TrainWorkload._network).
             net.momentum = 0.0
             return net
-        self.worker = StageWorker(
-            "w0", profile, builder, job_key, clock=self.clock, seed=seed
-        )
+        self.worker = ClusterWorker(self.host, builder, job_key, seed=seed)
         # A valid mirror exists before any fault can fire, so resume is
         # always well-defined.
         self.worker.mirror_out(0)
-        self.link = SecureLink(self.worker.engine, self.clock)
+        self.link = ClusterLink(
+            self.worker.engine, self.cluster.network, "w0", "peer"
+        )
         self.committed = 0
         self.integrity_rejections = 0
         self.losses: Dict[int, float] = {}
@@ -527,10 +583,12 @@ class LinkWorkload:
 
     The fault plan is armed only around the steady-state step loop; the
     worker is constructed fault-free so golden hits and replay hits
-    line up from the same starting state.  A crash kills just this
-    worker (enclave destroyed, PM power-failed); recovery is
-    ``kill()``/``resume()`` and the step loop re-runs from the mirrored
-    iteration.  Link faults (drops, flips) are retried a bounded number
+    line up from the same starting state.  A crash is the worker's host
+    dying (enclave destroyed, PM power-failed — also reachable via the
+    ``cluster.host_kill`` barrier at each step top); recovery is host
+    ``kill()``/``resume()`` — reboot plus Romulus recovery from the
+    host's PM — and the step loop re-runs from the mirrored iteration.
+    Link faults (drops, flips, partitions) are retried a bounded number
     of times, modelling a reliable-transport layer over a lossy wire.
     """
 
@@ -668,6 +726,7 @@ class LinkWorkload:
             plan.mark_boot()
             while step < self.steps and not v:
                 try:
+                    machine.host.barrier()
                     x = self._input(step)
                     out = machine.worker.forward(x, train=True)
                     loss, _ = machine.worker.loss_and_backward(
@@ -758,27 +817,34 @@ class LinkWorkload:
 class _ServeMachine:
     """Durable state of one serving deployment across replay reboots.
 
-    The PM device (holding the Romulus region and the encrypted model
-    mirror) and the sim clock survive a crash; enclaves, the replica
-    pool, the gateway, and client session state are volatile and are
-    rebuilt by every boot.
+    A cluster of one ``gateway`` host (owning the PM device with the
+    Romulus region and the encrypted model mirror) plus the replica
+    hosts behind a :class:`~repro.cluster.fabric.ServingFabric`.  PM and
+    the sim clock survive a crash; enclaves, the replica pool, the
+    gateway, the event loop, and client session state are volatile and
+    are rebuilt by every boot.
     """
 
-    def __init__(self, pm_size: int, server: str, seed: int) -> None:
+    def __init__(
+        self, pm_size: int, server: str, seed: int, n_replicas: int = 2
+    ) -> None:
         self.profile = get_profile(server)
         self.clock = SimClock()
         self.recorder = TraceRecorder()
         self.clock.recorder = self.recorder
-        self.pm = PersistentMemoryDevice(
-            pm_size,
-            self.clock,
-            self.profile.pm,
-            clflush_cost=self.profile.clflush_cost,
-            clflushopt_cost=self.profile.clflushopt_cost,
-            sfence_cost=self.profile.sfence_cost,
-            store_cost=self.profile.store_cost,
-            load_cost=self.profile.load_cost,
+        self.cluster = Cluster(self.clock)
+        self.host = self.cluster.add_host(
+            "gateway", self.profile, pm_size=pm_size
         )
+        replica_hosts = []
+        for i in range(n_replicas):
+            name = f"replica-{i}"
+            self.cluster.add_host(name, self.profile)
+            replica_hosts.append(name)
+        self.fabric = ServingFabric(
+            self.cluster, "gateway", tuple(replica_hosts)
+        )
+        self.pm = self.host.pm
         self.rand = SgxRandom(b"faults-serve-" + seed.to_bytes(4, "big"))
         self.engine_key = hashlib.sha256(
             b"faults-serve-key-" + seed.to_bytes(4, "big")
@@ -797,7 +863,7 @@ class _ServeMachine:
         self.redispatches = 0
 
     def power_fail(self) -> None:
-        self.pm.crash()
+        self.cluster.power_fail()
 
 
 class ServeWorkload:
@@ -807,10 +873,13 @@ class ServeWorkload:
     fault-free; the armed phase stands up a 2-replica pool, opens two
     client sessions, streams 8 sealed requests through the gateway, and
     — mid-run — commits generation 2 to the mirror and publishes it, so
-    replicas hot-reload between batches.  A ``serve.dispatch`` ABORT is
+    replicas hot-reload between batches.  A ``serve.dispatch`` ABORT, a
+    ``cluster.partition`` cut on the dispatch edge, and a
+    ``cluster.deliver`` drop of a completion notification are all
     absorbed by the gateway's exactly-once redispatch; every CRASH kind
-    (a replica or the whole host dying) is a power failure: the boot
-    loop rebuilds the volatile tier from PM, re-establishes the same
+    (a replica dying, or host death via the per-event
+    ``cluster.host_kill`` barrier) is a power failure: the boot loop
+    rebuilds the volatile tier from PM, re-establishes the same
     deterministic sessions, and resubmits only the unanswered requests.
 
     Invariants checked against the golden run: every request is
@@ -991,7 +1060,9 @@ class ServeWorkload:
 
     # ------------------------------------------------------------------
     def _run(self, plan: BaseFaultPlan) -> ReplayOutcome:
-        machine = _ServeMachine(self.pm_size, self.server, self.seed)
+        machine = _ServeMachine(
+            self.pm_size, self.server, self.seed, n_replicas=self.N_REPLICAS
+        )
         outcome = ReplayOutcome()
         spec = getattr(plan, "spec", None)
         self._setup(machine)  # fault-free: region + generation-1 mirror
@@ -1064,10 +1135,10 @@ class ServeWorkload:
     def _setup(self, m: _ServeMachine) -> None:
         """Fault-free: format the region, commit generation 1."""
         main_size = (m.pm.size - HEADER_SIZE) // 2
-        region = RomulusRegion(m.pm, main_size).format()
+        region = m.host.format_region(main_size)
         heap = PersistentHeap(region)
         engine = EncryptionEngine(m.engine_key, rand=m.rand)
-        enclave = Enclave(m.clock, m.profile.sgx)
+        enclave = m.host.spawn_enclave()
         mirror = MirrorModule(region, heap, engine, enclave, m.profile)
         mirror.alloc_mirror_model(self._network(1))
         mirror.mirror_out(self._network(1), 1)
@@ -1112,10 +1183,12 @@ class ServeWorkload:
         )
         from repro.sgx.attestation import QuotingEnclave
 
-        region = RomulusRegion.open(m.pm)
+        loop = m.cluster.boot()
+        m.host.barrier()
+        region = m.host.open_region()
         heap = PersistentHeap(region)
         engine = EncryptionEngine(m.engine_key, rand=m.rand)
-        enclave = Enclave(m.clock, m.profile.sgx)
+        enclave = m.host.spawn_enclave()
         mirror = MirrorModule(region, heap, engine, enclave, m.profile)
         stored = mirror.stored_iteration()
         if stored < m.last_committed:
@@ -1138,6 +1211,8 @@ class ServeWorkload:
             m.clock,
             BatchPolicy(max_requests=self.BATCH_MAX, max_delay=1e-3),
             AdmissionPolicy(max_queue_depth=64),
+            loop=loop,
+            fabric=m.fabric,
         )
         m.gateway = gateway
         m.label_of = {}

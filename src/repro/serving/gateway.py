@@ -35,9 +35,12 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.cluster.fabric import ServingFabric
+from repro.cluster.loop import EventLoop
+from repro.cluster.runtime import get_active_cluster
 from repro.crypto.engine import SEAL_OVERHEAD
 from repro.faults import plan as faultplan
-from repro.faults.plan import InjectedEcallAbort
+from repro.faults.plan import InjectedEcallAbort, InjectedLinkDrop
 from repro.obs.context import trace_id_of
 from repro.obs.slo import SloMonitor
 from repro.serving.admission import AdmissionController, AdmissionPolicy
@@ -115,6 +118,46 @@ class GatewayResult:
         return {rid: r.sealed for rid, r in self.responses.items()}
 
 
+class LegacyEventQueue:
+    """The gateway's original private heapq scheduler, frozen.
+
+    This is the pre-substrate event loop kept verbatim: a gateway handed
+    one of these behaves exactly as the gateway did before
+    ``repro.cluster`` existed, which makes it the reference side of the
+    differential equivalence tests
+    (``tests/test_cluster_equivalence.py`` proves the substrate-backed
+    gateway produces byte-identical traces, counters, and sealed
+    responses).  Production code always uses
+    :class:`~repro.cluster.loop.EventLoop`.
+    """
+
+    def __init__(self, clock: SimClock) -> None:
+        self.clock = clock
+        self._events: List[Tuple[float, int, str, object]] = []
+        self._order = 0
+
+    def push(self, at: float, kind: str, payload: object) -> None:
+        heapq.heappush(self._events, (float(at), self._order, kind, payload))
+        self._order += 1
+
+    def pending(self) -> int:
+        return len(self._events)
+
+    def run(
+        self,
+        handler: Callable[[str, object], None],
+        post_event: Optional[Callable[[], None]] = None,
+    ) -> None:
+        while self._events:
+            t, _, kind, payload = heapq.heappop(self._events)
+            now = self.clock.now()
+            if t > now:
+                self.clock.advance(t - now)
+            handler(kind, payload)
+            if post_event is not None:
+                post_event()
+
+
 class InferenceGateway:
     """Batching, replicated, hot-reloading front of the secure service."""
 
@@ -125,6 +168,8 @@ class InferenceGateway:
         batch_policy: Optional[BatchPolicy] = None,
         admission_policy: Optional[AdmissionPolicy] = None,
         slo: Optional[SloMonitor] = None,
+        loop=None,
+        fabric: Optional[ServingFabric] = None,
     ) -> None:
         self.pool = pool
         self.clock = clock
@@ -134,10 +179,22 @@ class InferenceGateway:
         )
         #: Optional SLO monitor fed every delivery/rejection on sim time.
         self.slo = slo
+        if loop is None:
+            # Ride the ambient cluster's loop when one shares our clock;
+            # otherwise stand up a private substrate loop.
+            cluster = get_active_cluster()
+            if cluster is not None and cluster.clock is clock:
+                loop = cluster.loop
+            else:
+                loop = EventLoop(clock)
+        #: The event scheduler (a cluster EventLoop, or the frozen
+        #: LegacyEventQueue in the differential tests).
+        self.loop = loop
+        #: Optional host placement: arms the cluster.partition /
+        #: cluster.deliver barriers on the dispatch and completion edges.
+        self.fabric = fabric
         self.queue = RequestQueue()
         self.result = GatewayResult()
-        self._events: List[Tuple[float, int, str, object]] = []
-        self._order = 0
         self._next_request_id = 0
         self._next_batch_id = 0
         self._batch_records: Dict[int, BatchRecord] = {}
@@ -146,13 +203,7 @@ class InferenceGateway:
     # Event plumbing
     # ------------------------------------------------------------------
     def _push(self, at: float, kind: str, payload: object) -> None:
-        heapq.heappush(self._events, (float(at), self._order, kind, payload))
-        self._order += 1
-
-    def _advance_to(self, t: float) -> None:
-        now = self.clock.now()
-        if t > now:
-            self.clock.advance(t - now)
+        self.loop.push(at, kind, payload)
 
     # ------------------------------------------------------------------
     # Submission API (all sim-time scheduled)
@@ -201,21 +252,7 @@ class InferenceGateway:
     # ------------------------------------------------------------------
     def run(self) -> GatewayResult:
         """Process every scheduled event; returns the drain's result."""
-        while self._events:
-            t, _, kind, payload = heapq.heappop(self._events)
-            self._advance_to(t)
-            if kind == "arrival":
-                self._on_arrival(payload)
-            elif kind == "done":
-                self._on_done(payload)
-            elif kind == "call":
-                payload()
-            elif kind == "crash":
-                self._on_crash(payload)
-            elif kind == "repair":
-                self.pool.repair(payload)
-            # "deadline" events exist only to wake the dispatcher.
-            self._dispatch_ready()
+        self.loop.run(self._handle_event, post_event=self._dispatch_ready)
         if len(self.queue):
             raise RuntimeError(
                 f"gateway drained its events with {len(self.queue)} "
@@ -227,6 +264,19 @@ class InferenceGateway:
     # ------------------------------------------------------------------
     # Event handlers
     # ------------------------------------------------------------------
+    def _handle_event(self, kind: str, payload: object) -> None:
+        if kind == "arrival":
+            self._on_arrival(payload)
+        elif kind == "done":
+            self._on_done(payload)
+        elif kind == "call":
+            payload()
+        elif kind == "crash":
+            self._on_crash(payload)
+        elif kind == "repair":
+            self.pool.repair(payload)
+        # "deadline" events exist only to wake the dispatcher.
+
     def _on_arrival(self, request: PendingRequest) -> None:
         recorder = self.clock.recorder
         if not self.admission.admit(len(self.queue)):
@@ -263,6 +313,19 @@ class InferenceGateway:
         replica = self.pool.replicas[index]
         if replica.epoch != epoch:
             return  # completion of a dead incarnation: discard
+        active = faultplan.ACTIVE
+        if self.fabric is not None and active.enabled:
+            try:
+                self.fabric.completion_barrier(index)
+            except InjectedLinkDrop:
+                # The completion notification died on the replica ->
+                # gateway edge: the replica is idle again but the
+                # gateway never heard, so the batch reruns under the
+                # exactly-once rule (pinned nonces keep bytes equal).
+                replica.busy = False
+                replica.inflight = None
+                self._requeue_for_redispatch(list(batch), reason="drop")
+                return
         recorder = self.clock.recorder
         record = self._batch_records[batch_id]
         traces = None
@@ -345,7 +408,9 @@ class InferenceGateway:
         if batch:
             self._requeue_for_redispatch(list(batch))
 
-    def _requeue_for_redispatch(self, batch: List[PendingRequest]) -> None:
+    def _requeue_for_redispatch(
+        self, batch: List[PendingRequest], reason: str = "crash"
+    ) -> None:
         for request in batch:
             request.attempts += 1
             if request.attempts >= MAX_DISPATCH_ATTEMPTS:
@@ -359,7 +424,7 @@ class InferenceGateway:
         recorder = self.clock.recorder
         if recorder.enabled:
             recorder.count("serve.redispatched", len(batch))
-            self._mark_redispatch(batch, "crash")
+            self._mark_redispatch(batch, reason)
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -402,6 +467,17 @@ class InferenceGateway:
         self.pool.maybe_reload(replica)
         active = faultplan.ACTIVE
         if active.enabled:
+            if self.fabric is not None:
+                try:
+                    self.fabric.dispatch_barrier(replica.index)
+                except InjectedLinkDrop:
+                    # The gateway -> replica edge is partitioned: the
+                    # batch never reached this replica, so route around
+                    # it exactly like a failed ecall.
+                    self._redispatch_after_abort(
+                        batch, replica, reason="partition"
+                    )
+                    return
             try:
                 active.check("serve.dispatch")
             except InjectedEcallAbort:
@@ -410,7 +486,10 @@ class InferenceGateway:
         self._start_batch(batch, replica)
 
     def _redispatch_after_abort(
-        self, batch: List[PendingRequest], failed: ServingReplica
+        self,
+        batch: List[PendingRequest],
+        failed: ServingReplica,
+        reason: str = "abort",
     ) -> None:
         """The batch's ecall failed before entering the enclave: retry
         once, preferring a different replica."""
@@ -426,7 +505,7 @@ class InferenceGateway:
         recorder = self.clock.recorder
         if recorder.enabled:
             recorder.count("serve.redispatched", len(batch))
-            self._mark_redispatch(batch, "abort")
+            self._mark_redispatch(batch, reason)
         replica = self._free_replica(after=failed.index)
         if replica is None:
             self.queue.requeue(batch)

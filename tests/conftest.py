@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.cluster import runtime as cluster_runtime
 from repro.core.system import PliniusSystem
 from repro.crypto import backend as crypto_backend
 from repro.darknet.data import DataMatrix
@@ -16,35 +17,60 @@ from repro.simtime.clock import SimClock
 from repro.simtime.profiles import EMLSGX_PM, SGX_EMLPM
 
 
+def snapshot_process_defaults() -> dict:
+    """Capture every module global acting as a process default.
+
+    Four globals qualify: the obs recorder, the crypto AEAD backend,
+    the fault plan, and the installed cluster topology.  The snapshot
+    pairs with :func:`restore_and_diff_process_defaults`; the autouse
+    guard below uses both, and the guard's own regression test calls
+    them directly.
+    """
+    return {
+        "recorder": get_default_recorder(),
+        # Force lazy resolution first: merely *using* crypto caches the
+        # resolved backend, which is not a leak.  Resolution is compared
+        # by type, not identity: ``reset_default_backend()`` (the
+        # sanctioned restore) makes the next use build a fresh,
+        # equivalent instance.
+        "backend": crypto_backend.default_backend(),
+        "plan": faultplan.get_active_plan(),
+        "cluster": cluster_runtime.get_active_cluster(),
+    }
+
+
+def restore_and_diff_process_defaults(before: dict) -> list:
+    """Restore a snapshot; return a description of every leak found."""
+    leaked = []
+    if get_default_recorder() is not before["recorder"]:
+        leaked.append("obs default recorder (install_default_recorder)")
+        install_default_recorder(before["recorder"])
+    if type(crypto_backend.default_backend()) is not type(before["backend"]):
+        leaked.append("crypto default backend (set_default_backend)")
+        crypto_backend.set_default_backend(before["backend"])
+    if faultplan.get_active_plan() is not before["plan"]:
+        leaked.append("fault plan (faults.plan.install_plan)")
+        faultplan.install_plan(before["plan"])
+    if cluster_runtime.get_active_cluster() is not before["cluster"]:
+        leaked.append("cluster topology (cluster.runtime.install_cluster)")
+        cluster_runtime.install_cluster(before["cluster"])
+    return leaked
+
+
 @pytest.fixture(autouse=True)
 def _no_leaked_process_defaults():
     """Fail any test that leaks a process-default override.
 
-    Three module globals act as process defaults: the obs recorder, the
-    crypto AEAD backend, and the fault plan.  A test that installs one
-    and forgets to restore it silently changes the behaviour of every
-    test that runs after it — the classic order-dependent flake.  This
-    fixture snapshots all three, restores them unconditionally, and
-    fails the offending test by name so the leak is fixed at the source.
+    A test that installs a process default (recorder, crypto backend,
+    fault plan, cluster topology) and forgets to restore it silently
+    changes the behaviour of every test that runs after it — the
+    classic order-dependent flake.  This fixture snapshots all four,
+    restores them unconditionally, and fails the offending test by name
+    so the leak is fixed at the source.
     """
-    recorder_before = get_default_recorder()
-    # Force lazy resolution first: merely *using* crypto caches the
-    # resolved backend, which is not a leak.  Resolution is compared by
-    # type, not identity: ``reset_default_backend()`` (the sanctioned
-    # restore) makes the next use build a fresh, equivalent instance.
-    backend_before = crypto_backend.default_backend()
-    plan_before = faultplan.get_active_plan()
+    before = snapshot_process_defaults()
     yield
-    leaked = []
-    if get_default_recorder() is not recorder_before:
-        leaked.append("obs default recorder (install_default_recorder)")
-        install_default_recorder(recorder_before)
-    if type(crypto_backend.default_backend()) is not type(backend_before):
-        leaked.append("crypto default backend (set_default_backend)")
-        crypto_backend.set_default_backend(backend_before)
-    if faultplan.get_active_plan() is not plan_before:
-        leaked.append("fault plan (faults.plan.install_plan)")
-        faultplan.install_plan(plan_before)
+    leaked = restore_and_diff_process_defaults(before)
     if leaked:
         # Restored above, so one leaky test cannot poison the rest.
         pytest.fail(

@@ -1,0 +1,300 @@
+"""Differential tests: the cluster substrate changes *nothing*.
+
+The ``repro.cluster`` substrate absorbed the inference gateway's private
+heapq scheduler and the distributed pipeline worker's hardware
+ownership.  These tests run the same seeded scenario twice — once on
+the frozen legacy implementation
+(:class:`~repro.serving.gateway.LegacyEventQueue`, plain
+:class:`~repro.distributed.worker.StageWorker` +
+:class:`~repro.distributed.link.SecureLink`) and once on the substrate
+(:class:`~repro.cluster.loop.EventLoop`,
+:class:`~repro.cluster.worker.ClusterWorker` +
+:class:`~repro.cluster.link.ClusterLink`) — and assert byte-identical
+canonical trace reports, equal counter snapshots, equal sim-time span
+views, and identical sealed response/loss bytes.  Any drift between the
+two stacks fails here first.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.cluster import Cluster, ClusterLink, ClusterWorker, installed_cluster
+from repro.cluster.loop import EventLoop
+from repro.core.models import build_mnist_cnn
+from repro.core.serving import InferenceClient
+from repro.core.system import PliniusSystem
+from repro.distributed.link import SecureLink
+from repro.distributed.worker import StageWorker
+from repro.faults.workload import params_digest
+from repro.obs import TraceRecorder
+from repro.obs.report import build_report_from_recorder, render_report_json
+from repro.serving import (
+    AdmissionPolicy,
+    BatchPolicy,
+    InferenceGateway,
+    ReplicaPool,
+)
+from repro.serving.gateway import LegacyEventQueue
+from repro.simtime.clock import SimClock
+from repro.simtime.profiles import get_profile
+
+N_CLIENTS = 2
+N_REQUESTS = 10
+SEED = 5
+
+
+def _factory(seed: int = SEED):
+    def build():
+        net = build_mnist_cnn(
+            n_conv_layers=1, filters=2, batch=4,
+            rng=np.random.default_rng(seed),
+        )
+        net.momentum = 0.0
+        return net
+
+    return build
+
+
+def _images(n: int, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).random(
+        (n, 1, 28, 28), dtype=np.float32
+    )
+
+
+def _deployment(recorder: TraceRecorder, loop=None, fabric_from=None):
+    """Mirror at generation 1, 2-replica pool, gateway on ``loop``."""
+    system = PliniusSystem.create(
+        server="emlSGX-PM", seed=SEED, pm_size=4 << 20, recorder=recorder
+    )
+    factory = _factory()
+    net = factory()
+    system.mirror.alloc_mirror_model(net)
+    system.mirror.mirror_out(net, 1)
+    pool = ReplicaPool(
+        system.mirror,
+        system.quoting_enclave,
+        system.clock,
+        system.profile,
+        factory,
+        n_replicas=2,
+    )
+    if loop == "legacy":
+        loop = LegacyEventQueue(system.clock)
+    gateway = InferenceGateway(
+        pool,
+        system.clock,
+        BatchPolicy(max_requests=4, max_delay=1e-3),
+        AdmissionPolicy(max_queue_depth=64),
+        loop=loop,
+    )
+    clients = {}
+    for sid in range(1, N_CLIENTS + 1):
+        client = InferenceClient(pool.measurement, seed=sid)
+        pool.open_session(client, sid)
+        clients[sid] = client
+    return system, pool, gateway, clients
+
+
+def _run_scenario(loop) -> dict:
+    """One full gateway drain: reload mid-run, crash + repair, 10 reqs."""
+    recorder = TraceRecorder()
+    system, pool, gateway, clients = _deployment(recorder, loop=loop)
+    images = _images(N_REQUESTS)
+    base = system.clock.now()
+    labels = {}
+    for index in range(N_REQUESTS):
+        client = clients[1 + index % N_CLIENTS]
+        seq, sealed = client.seal_request_seq(images[index : index + 1])
+        rid = gateway.submit(
+            client.session_id, seq, sealed, 1, at=base + index * 2e-4
+        )
+        labels[rid] = index
+
+    net2 = _factory(SEED + 1)()
+
+    def publish_gen2() -> None:
+        system.mirror.mirror_out(net2, 2)
+        pool.publish_generation()
+
+    gateway.schedule_call(base + 5e-4, publish_gen2)
+    gateway.schedule_crash(base + 7e-4, 0)
+    gateway.schedule_repair(base + 5e-3, 0)
+    result = gateway.run()
+    return {
+        "sealed": {
+            labels[rid]: record.sealed
+            for rid, record in result.responses.items()
+        },
+        "rejected": list(result.rejected),
+        "redispatches": result.redispatches,
+        "batches": [
+            (b.replica, b.generation, b.n_requests, b.attempts)
+            for b in result.batches
+        ],
+        "now": system.clock.now(),
+        "counters": recorder.counters.snapshot(),
+        "sim_view": recorder.sim_view(),
+        "report": render_report_json(build_report_from_recorder(recorder)),
+    }
+
+
+class TestGatewayEquivalence:
+    def test_substrate_loop_matches_legacy_byte_for_byte(self):
+        legacy = _run_scenario("legacy")
+        substrate = _run_scenario(None)  # resolves to a substrate loop
+        assert substrate["sealed"] == legacy["sealed"]
+        assert substrate["rejected"] == legacy["rejected"]
+        assert substrate["redispatches"] == legacy["redispatches"]
+        assert substrate["batches"] == legacy["batches"]
+        assert substrate["now"] == legacy["now"]
+        assert substrate["counters"] == legacy["counters"]
+        assert substrate["sim_view"] == legacy["sim_view"]
+        assert substrate["report"] == legacy["report"]
+
+    def test_default_loop_is_substrate_event_loop(self):
+        recorder = TraceRecorder()
+        _, _, gateway, _ = _deployment(recorder, loop=None)
+        assert isinstance(gateway.loop, EventLoop)
+
+    def test_gateway_rides_ambient_cluster_loop(self):
+        """An installed cluster sharing the clock donates its loop."""
+        recorder = TraceRecorder()
+        clock = SimClock()
+        clock.recorder = recorder
+        cluster = Cluster(clock)
+        with installed_cluster(cluster):
+            system = PliniusSystem.create(
+                server="emlSGX-PM",
+                seed=SEED,
+                pm_size=4 << 20,
+                recorder=recorder,
+            )
+            _seed_mirror(system)
+            # Different clock: the gateway must NOT adopt the ambient
+            # loop (events would interleave across unrelated clocks).
+            pool = ReplicaPool(
+                system.mirror,
+                system.quoting_enclave,
+                system.clock,
+                system.profile,
+                _factory(),
+                n_replicas=1,
+            )
+            gateway = InferenceGateway(pool, system.clock)
+            assert gateway.loop is not cluster.loop
+            # Same clock: the ambient cluster's loop is adopted.
+            cluster2 = Cluster(system.clock)
+            with installed_cluster(cluster2):
+                gateway2 = InferenceGateway(pool, system.clock)
+                assert gateway2.loop is cluster2.loop
+
+
+def _seed_mirror(system) -> bool:
+    net = _factory()()
+    system.mirror.alloc_mirror_model(net)
+    system.mirror.mirror_out(net, 1)
+    return True
+
+
+def _worker_steps(worker, link, losses, steps=(0, 1, 2), kill_at=1):
+    """Three training steps with a kill/resume before ``kill_at``."""
+    batch = 4
+    for step in steps:
+        if step == kill_at:
+            worker.kill()
+            resumed = worker.resume()
+            assert resumed == step
+        rng = np.random.default_rng((SEED, step))
+        x = rng.random((batch, 1, 28, 28), dtype=np.float32)
+        y = np.zeros((batch, 10), dtype=np.float32)
+        y[np.arange(batch), rng.integers(0, 10, batch)] = 1.0
+        out = worker.forward(x, train=True)
+        loss, _ = worker.loss_and_backward(y)
+        worker.update()
+        losses[step] = loss
+        worker.mirror_out(step + 1)
+        received = link.transfer(out)
+        assert np.array_equal(received, out)
+
+
+def _legacy_worker_run() -> dict:
+    recorder = TraceRecorder()
+    clock = SimClock()
+    clock.recorder = recorder
+    profile = get_profile("emlSGX-PM")
+    job_key = hashlib.sha256(b"equivalence-job").digest()[:16]
+    worker = StageWorker(
+        "w0", profile, _factory(), job_key, clock=clock, seed=7
+    )
+    worker.mirror_out(0)
+    link = SecureLink(worker.engine, clock)
+    losses: dict = {}
+    _worker_steps(worker, link, losses)
+    return {
+        "losses": losses,
+        "digest": params_digest(worker.network),
+        "stored": worker.mirror.stored_iteration(),
+        "now": clock.now(),
+        "counters": recorder.counters.snapshot(),
+        "sim_view": recorder.sim_view(),
+        "report": render_report_json(build_report_from_recorder(recorder)),
+    }
+
+
+def _substrate_worker_run() -> dict:
+    recorder = TraceRecorder()
+    clock = SimClock()
+    clock.recorder = recorder
+    profile = get_profile("emlSGX-PM")
+    job_key = hashlib.sha256(b"equivalence-job").digest()[:16]
+    cluster = Cluster(clock)
+    host = cluster.add_host("w0", profile)
+    cluster.add_host("peer", profile)
+    cluster.connect("w0", "peer")
+    worker = ClusterWorker(host, _factory(), job_key, seed=7)
+    worker.mirror_out(0)
+    link = ClusterLink(worker.engine, cluster.network, "w0", "peer")
+    losses: dict = {}
+    _worker_steps(worker, link, losses)
+    return {
+        "losses": losses,
+        "digest": params_digest(worker.network),
+        "stored": worker.mirror.stored_iteration(),
+        "now": clock.now(),
+        "counters": recorder.counters.snapshot(),
+        "sim_view": recorder.sim_view(),
+        "report": render_report_json(build_report_from_recorder(recorder)),
+    }
+
+
+class TestWorkerEquivalence:
+    def test_cluster_worker_matches_legacy_byte_for_byte(self):
+        legacy = _legacy_worker_run()
+        substrate = _substrate_worker_run()
+        assert substrate["losses"] == legacy["losses"]
+        assert substrate["digest"] == legacy["digest"]
+        assert substrate["stored"] == legacy["stored"]
+        assert substrate["now"] == legacy["now"]
+        assert substrate["counters"] == legacy["counters"]
+        assert substrate["sim_view"] == legacy["sim_view"]
+        assert substrate["report"] == legacy["report"]
+
+
+class TestConftestGuard:
+    def test_leaked_cluster_topology_is_reported_and_restored(self):
+        """The process-default guard names a leaked cluster install."""
+        from repro.cluster.runtime import get_active_cluster, install_cluster
+        from tests.conftest import (
+            restore_and_diff_process_defaults,
+            snapshot_process_defaults,
+        )
+
+        before = snapshot_process_defaults()
+        original = get_active_cluster()
+        install_cluster(Cluster())  # deliberate leak
+        leaked = restore_and_diff_process_defaults(before)
+        assert any("cluster topology" in item for item in leaked)
+        assert get_active_cluster() is original

@@ -76,6 +76,55 @@ class TestReplaySmoke:
         assert not outcome.ok
 
 
+class TestClusterCoverage:
+    """The substrate's fault coordinates reach all three workloads."""
+
+    CLUSTER_SITES = (
+        "cluster.host_kill",
+        "cluster.partition",
+        "cluster.deliver",
+    )
+
+    @pytest.mark.parametrize("name", ["train", "link", "serve"])
+    def test_golden_census_includes_cluster_sites(self, name):
+        golden = make_workload(name).golden()
+        assert not golden.violations
+        for site in self.CLUSTER_SITES:
+            assert golden.hits.get(site, 0) > 0, (
+                f"{name} golden run never reached {site}"
+            )
+
+    def test_host_kill_mid_step_recovers_clean(self):
+        outcome = make_workload("link").replay(
+            FaultSpec("cluster.host_kill", 2, "crash")
+        )
+        assert outcome.fired
+        assert outcome.reboots == 1
+        assert outcome.ok, outcome.violations
+
+    def test_partition_is_routed_around(self):
+        outcome = make_workload("serve").replay(
+            FaultSpec("cluster.partition", 1, "drop")
+        )
+        assert outcome.fired
+        assert outcome.ok, outcome.violations
+
+    def test_dropped_completion_is_redispatched(self):
+        outcome = make_workload("serve").replay(
+            FaultSpec("cluster.deliver", 1, "drop")
+        )
+        assert outcome.fired
+        assert outcome.ok, outcome.violations
+
+    def test_train_dataset_fetch_survives_wire_drop(self):
+        outcome = make_workload("train").replay(
+            FaultSpec("cluster.deliver", 1, "drop")
+        )
+        assert outcome.fired
+        assert outcome.reboots == 0
+        assert outcome.ok, outcome.violations
+
+
 class TestSampledExploration:
     def test_sampled_exploration_holds_all_invariants(self):
         report = explore(

@@ -211,6 +211,18 @@ def test_lint_and_tcb_agree_on_untrusted_modules():
     assert set(LINT_UNTRUSTED) == set(TCB_UNTRUSTED)
 
 
+def test_every_cluster_module_is_classified_untrusted():
+    """New substrate modules must be placed on both boundary maps."""
+    cluster_modules = {
+        "repro.cluster." + path.stem
+        for path in (SRC / "repro" / "cluster").glob("*.py")
+        if path.stem != "__init__"
+    }
+    assert cluster_modules  # the package exists and has members
+    assert cluster_modules <= set(LINT_UNTRUSTED)
+    assert cluster_modules <= set(TCB_UNTRUSTED)
+
+
 def test_cli_tcb_json(capsys):
     rc = main(["tcb", "--format", "json"])
     assert rc == 0
