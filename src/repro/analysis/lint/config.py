@@ -185,6 +185,16 @@ UNTRUSTED_MODULES: Tuple[str, ...] = (
     "repro.cluster.worker",
     "repro.cluster.fabric",
     "repro.cluster.runtime",
+    # Federated orchestration is operator-side: the coordinator's round
+    # driving, the clients' local-training harness, and session/shard
+    # assembly all handle sealed deltas from outside the enclave.  The
+    # trusted remainder — repro.federated.merkle / aggregate / ledger —
+    # is exactly the commitment and merge math the aggregator enclave
+    # runs over unsealed bytes.
+    "repro.federated.client",
+    "repro.federated.coordinator",
+    "repro.federated.session",
+    "repro.federated.shards",
 )
 
 # ----------------------------------------------------------------------

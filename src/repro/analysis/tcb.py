@@ -58,6 +58,12 @@ TRUSTED_MODULES = (
     "repro.minitf.mirroring",
     "repro.distributed.worker",
     "repro.romulus.undolog",
+    # Federated aggregation enclave: Merkle commitment, the
+    # deterministic FedAvg merge, and the round ledger all run over
+    # unsealed deltas, so they live inside the aggregator enclave.
+    "repro.federated.merkle",
+    "repro.federated.aggregate",
+    "repro.federated.ledger",
 )
 
 #: Modules kept outside the enclave (sgx-romulus-helper,
@@ -140,6 +146,14 @@ UNTRUSTED_MODULES = (
     "repro.cluster.worker",
     "repro.cluster.fabric",
     "repro.cluster.runtime",
+    # Federated orchestration: round driving, shard assembly, and the
+    # session/host wiring run operator-side.  Only merkle/aggregate/
+    # ledger (the commitment + merge math the aggregator enclave runs
+    # over unsealed deltas) stay trusted.
+    "repro.federated.client",
+    "repro.federated.coordinator",
+    "repro.federated.session",
+    "repro.federated.shards",
 )
 
 #: Extra runtime LoC an all-in-enclave design drags in.  The paper's

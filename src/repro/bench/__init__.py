@@ -13,6 +13,7 @@ from repro.bench.table1 import Table1, compute_table1
 from repro.bench.fig8 import Fig8Point, run_fig8
 from repro.bench.fig9 import Fig9Result, run_fig9
 from repro.bench.fig10 import Fig10Result, run_fig10
+from repro.bench.federated import FederatedBenchReport, run_federated
 from repro.bench.inference import InferenceResult, run_inference
 from repro.bench.results import format_table
 from repro.bench.serving_load import (
@@ -44,6 +45,8 @@ __all__ = [
     "Fig9Result",
     "run_fig10",
     "Fig10Result",
+    "run_federated",
+    "FederatedBenchReport",
     "run_inference",
     "InferenceResult",
     "format_table",

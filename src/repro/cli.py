@@ -254,7 +254,9 @@ def _cmd_crashtest(args: argparse.Namespace) -> int:
         exhaustive=args.exhaustive or args.samples is None,
         samples=args.samples if args.samples is not None else 32,
         seed=args.seed,
-        workloads=tuple(args.workload or ("train", "link", "serve")),
+        workloads=tuple(
+            args.workload or ("train", "link", "serve", "federated")
+        ),
         flight_dir=args.flight_dir,
     )
     if args.mutate:
@@ -312,6 +314,37 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         print(
             f"FAIL: batch speedup {report.batch_speedup:.2f}x below the "
             f"{BATCH16_SPEEDUP_TARGET:.1f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_fed(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.federated import render_text, run_federated
+
+    report = run_federated(
+        n_clients=args.clients,
+        rounds=args.rounds,
+        local_steps=args.local_steps,
+        seed=args.seed,
+        server=args.server,
+    )
+    payload = report.to_dict()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    if args.format == "json":
+        print(json.dumps(payload, indent=2))
+    else:
+        print("\n".join(render_text(report)))
+    if not report.ok:
+        print(
+            f"FAIL: ledger committed {report.committed_round} rounds, "
+            f"expected {report.rounds_requested}",
             file=sys.stderr,
         )
         return 1
@@ -468,9 +501,9 @@ def build_parser() -> argparse.ArgumentParser:
     crashtest.add_argument(
         "--workload",
         action="append",
-        choices=["train", "link", "serve"],
+        choices=["train", "link", "serve", "federated"],
         default=None,
-        help="restrict to one workload (repeatable; default: all three)",
+        help="restrict to one workload (repeatable; default: all four)",
     )
     crashtest.add_argument(
         "--mutate",
@@ -543,6 +576,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_flag(serve)
     serve.set_defaults(func=_cmd_serve_bench)
+
+    fed = sub.add_parser(
+        "fed",
+        help="federated secure training (attested clients, Merkle-"
+        "committed rounds)",
+    )
+    fed.add_argument(
+        "--clients", type=int, default=4,
+        help="number of attested client hosts",
+    )
+    fed.add_argument(
+        "--rounds", type=int, default=3,
+        help="federation rounds to commit",
+    )
+    fed.add_argument(
+        "--local-steps", type=int, default=2,
+        help="local SGD steps per client per round",
+    )
+    fed.add_argument(
+        "--seed", type=int, default=4242,
+        help="federation seed (shards, keys, model init)",
+    )
+    fed.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also write the JSON report here (for the CI smoke gate)",
+    )
+    fed.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (json for CI consumers)",
+    )
+    _add_trace_flag(fed)
+    fed.set_defaults(func=_cmd_fed)
 
     report = sub.add_parser(
         "report",

@@ -71,6 +71,11 @@ class Cluster:
         """Wire two hosts (see :meth:`ClusterNetwork.connect`)."""
         self.network.connect(a, b, **kwargs)
 
+    def connect_star(self, hub: str, *leaves: str, **kwargs) -> None:
+        """Wire every leaf to ``hub`` (the federated/serving topology)."""
+        for leaf in leaves:
+            self.network.connect(hub, leaf, **kwargs)
+
     # ------------------------------------------------------------------
     # Cluster-wide crash / repair
     # ------------------------------------------------------------------

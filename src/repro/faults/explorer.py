@@ -45,7 +45,7 @@ class ExploreConfig:
     seed: int = 0
     per_site_cap: int = 6
     flip_bits: Tuple[int, ...] = DEFAULT_FLIP_BITS
-    workloads: Tuple[str, ...] = ("train", "link", "serve")
+    workloads: Tuple[str, ...] = ("train", "link", "serve", "federated")
     shrink: bool = True
     #: When set, every violation's flight-recorder snapshot is written
     #: to ``<flight_dir>/flight-<workload>-<n>.json`` as a standalone

@@ -28,6 +28,23 @@ for cross-reference with ``docs/fault-injection.md``):
 * **I7 — tamper evidence.**  A delivered bit-flip in a sealed record
   must surface as an ``IntegrityError`` (fail-stop), never as silently
   accepted plaintext.
+* **I8 — committed-round monotonicity.**  The federated ledger's
+  durable tip never regresses, and a round is acknowledged (published
+  to clients) only *after* its Merkle root and sealed merged
+  parameters committed — on reboot, ``ledger.committed_round()`` must
+  be at least the highest round the previous boot acknowledged.  The
+  ``fed-commit-before-durable`` mutant inverts the order and this
+  check catches it.
+* **I9 — round-resume equivalence.**  An aggregator crashed at any
+  coordinate and rebooted must resume from the last committed round
+  and finish with per-round client losses, Merkle roots, and merged
+  parameters bit-identical to the uninterrupted federation.
+* **I10 — exclusion evidence.**  A contribution that was tampered
+  with, replayed from a prior round, or backed by a forged inclusion
+  proof must never reach the FedAvg merge; every exclusion leaves an
+  evidence record ``(round, client, reason)``, and under a single
+  *injected* fault (not a byzantine client) no honest client may be
+  excluded at all.
 """
 
 from __future__ import annotations
@@ -89,4 +106,17 @@ def losses_equivalent(golden: dict, observed: dict) -> Optional[str]:
                 f"loss at iteration {iteration} diverged: golden "
                 f"{golden[iteration]!r} vs resumed {observed[iteration]!r}"
             )
+    return None
+
+
+def committed_round_monotone(
+    acked_round: int, committed_round: int
+) -> Optional[str]:
+    """I8: nothing acknowledged may be ahead of the durable ledger tip."""
+    if committed_round < acked_round:
+        return (
+            f"round {acked_round} was acknowledged but recovery found "
+            f"the durable ledger tip at round {committed_round} "
+            "(ack before commit)"
+        )
     return None

@@ -27,6 +27,14 @@ The mutants (and the invariant expected to catch them):
   mid-transaction crash trusts a half-mutated main twin.  Caught by the
   recovery-count invariant (I4: every substrate reboot must run exactly
   one recovery) and by stale/torn state downstream (I1/I2/I6).
+* ``fed-commit-before-durable`` — the federated coordinator
+  acknowledges a round (volatile publish + client-visible callback)
+  *before* the round's Merkle root and sealed merged parameters enter
+  their Romulus transaction.  A crash at the ``fed.commit`` coordinate
+  then lands after the ack but before durability, so recovery finds
+  the ledger tip behind what was acknowledged — caught by
+  committed-round monotonicity (I8) and, downstream, by the resumed
+  federation re-running an already-acknowledged round (I9).
 """
 
 from __future__ import annotations
@@ -168,6 +176,28 @@ def _host_reboot_skip_recovery() -> Iterator[None]:
         Host.open_region = original
 
 
+@contextlib.contextmanager
+def _fed_commit_before_durable() -> Iterator[None]:
+    from repro.federated.coordinator import FederatedCoordinator
+
+    original = FederatedCoordinator._finalize
+
+    def broken_finalize(self, result, payloads) -> None:
+        if self.on_note is not None:
+            self.on_note(result)
+        # BUG: the round is published (clients observe the ack) before
+        # its Merkle root + sealed params are durable — a crash at the
+        # fed.commit coordinate now strands an acknowledged round.
+        self._ack_round(result)
+        self._commit_round(result, payloads)
+
+    FederatedCoordinator._finalize = broken_finalize
+    try:
+        yield
+    finally:
+        FederatedCoordinator._finalize = original
+
+
 #: name -> context-manager factory installing the broken variant.
 MUTANTS: Dict[str, Callable[[], "contextlib.AbstractContextManager"]] = {
     "commit-idle-before-copy": _commit_idle_before_copy,
@@ -175,6 +205,7 @@ MUTANTS: Dict[str, Callable[[], "contextlib.AbstractContextManager"]] = {
     "reuse-iv": _reuse_iv,
     "no-mac-check": _no_mac_check,
     "host-reboot-skip-recovery": _host_reboot_skip_recovery,
+    "fed-commit-before-durable": _fed_commit_before_durable,
 }
 
 

@@ -45,7 +45,7 @@ class FaultSite:
     """One named injection point."""
 
     name: str
-    layer: str  #: hw | romulus | sgx | crypto | distributed | serving | cluster
+    layer: str  #: hw | romulus | sgx | crypto | distributed | serving | cluster | federated
     kinds: Tuple[str, ...]
     api: str  #: "check" or "mutate"
     description: str
@@ -134,6 +134,19 @@ SITES: Dict[str, FaultSite] = {
               "at the receiving NIC, after transit cost is paid; DROP "
               "loses the in-flight message (a completion notification "
               "is redispatched), CRASH kills the receiving host"),
+        # --------------------------------------------------- federated
+        _site("fed.submit", "federated", (CRASH, DROP), "check",
+              "before a client's sealed weight delta enters the wire "
+              "to the aggregator; DROP loses the submission (the "
+              "client's reliable-transport loop retransmits the cached "
+              "sealed bytes), CRASH kills the federation mid-round"),
+        _site("fed.aggregate", "federated", (CRASH,), "check",
+              "after the quorum check, before the accepted deltas are "
+              "FedAvg-merged inside the aggregation enclave"),
+        _site("fed.commit", "federated", (CRASH,), "check",
+              "before the round's Merkle root + sealed merged params "
+              "enter their Romulus transaction; a crash here must "
+              "leave the previous round as the durable tip"),
     )
 }
 

@@ -1275,12 +1275,347 @@ class ServeWorkload:
                 )
 
 
+class _FederatedMachine:
+    """Durable state of one federation across replay reboots.
+
+    The :class:`~repro.federated.session.FederatedSession` *is* the
+    durable half (cluster, PM, seeds, shards); this wrapper adds the
+    run-level bookkeeping the invariants compare: what was
+    acknowledged, every noted round observation, and the harvested
+    integrity-rejection count.
+    """
+
+    def __init__(self, config) -> None:
+        from repro.federated.session import FederatedSession
+
+        self.session = FederatedSession(config)
+        self.clock = self.session.clock
+        self.recorder = TraceRecorder()
+        self.clock.recorder = self.recorder
+        #: Highest round any boot acknowledged (the I8 floor).
+        self.acked_round = 0
+        #: Noted per-step losses, key = round*1000 + client*100 + step.
+        #: Recorded *before* the round's commit (see coordinator
+        #: ``on_note``) so a crash between commit and ack loses nothing.
+        self.losses: Dict[int, float] = {}
+        #: Noted Merkle roots per round.
+        self.roots: Dict[int, bytes] = {}
+        #: Every exclusion any boot recorded (should stay empty under a
+        #: single injected fault — invariant I10).
+        self.exclusions: set = set()
+        self.format_completed = False
+        self.final_round = 0
+        self.params_digest = ""
+        self.integrity_rejections = 0
+
+    def on_note(self, result) -> None:
+        for cid, step_losses in result.losses.items():
+            for step, loss in enumerate(step_losses):
+                self.losses[result.round_no * 1000 + cid * 100 + step] = loss
+        self.roots[result.round_no] = result.root
+        self.exclusions.update(result.excluded)
+
+    def on_ack(self, result) -> None:
+        self.acked_round = max(self.acked_round, result.round_no)
+
+    def harvest(self) -> None:
+        """Fold the (volatile) coordinator's rejection count in."""
+        coordinator = self.session.coordinator
+        if coordinator is not None:
+            self.integrity_rejections += coordinator.integrity_rejections
+            coordinator.integrity_rejections = 0
+            self.exclusions.update(coordinator.evidence)
+
+    def power_fail(self) -> None:
+        self.session.cluster.power_fail()
+
+
+class FederatedWorkload:
+    """Federated secure training under fault injection.
+
+    Three attested clients train two FedAvg rounds against the
+    aggregator host; every round's Merkle root + sealed merged
+    parameters commit to the aggregator's PM before the round is
+    acknowledged.  A crash at any coordinate power-fails the whole
+    deployment; the boot loop re-attaches the region (I1/I4), compares
+    the durable ledger tip against what was acknowledged (I8), resumes
+    from the committed round, and at the end every participant audits
+    its inclusion proof for every committed round (I10).  Completed
+    replays must match the golden run's per-step losses, per-round
+    roots, and merged parameters bit-for-bit (I9), with zero honest
+    exclusions.
+    """
+
+    name = "federated"
+
+    def __init__(
+        self,
+        server: str = "emlSGX-PM",
+        n_clients: int = 3,
+        rounds: int = 2,
+        local_steps: int = 2,
+        batch: int = 4,
+        rows_per_client: int = 8,
+        pm_size: int = 1 << 20,
+        seed: int = 4242,
+    ) -> None:
+        from repro.federated.session import FederationConfig
+
+        self.rounds = rounds
+        self.config = FederationConfig(
+            n_clients=n_clients,
+            rounds=rounds,
+            local_steps=local_steps,
+            batch=batch,
+            rows_per_client=rows_per_client,
+            server=server,
+            pm_size=pm_size,
+            seed=seed,
+        )
+        self._golden: Optional[GoldenRun] = None
+
+    # ------------------------------------------------------------------
+    def golden(self) -> GoldenRun:
+        if self._golden is None:
+            plan = CountingPlan()
+            outcome = self._run(plan)
+            violations = list(outcome.violations)
+            if not outcome.completed:
+                violations.append("golden run failed to complete")
+            if outcome.reboots:
+                violations.append(
+                    f"golden run rebooted {outcome.reboots} times"
+                )
+            dups = plan.duplicate_ivs()
+            if dups:
+                violations.append(
+                    f"I5: {len(dups)} AES-GCM IVs reused within one boot"
+                )
+            self._golden = GoldenRun(
+                hits=dict(plan.hits),
+                losses=dict(outcome.losses),
+                final_iteration=outcome.final_iteration,
+                stored_iteration=outcome.stored_iteration,
+                params_digest=outcome.params_digest,
+                violations=violations,
+                flight=outcome.flight,
+            )
+        return self._golden
+
+    def replay(self, spec: FaultSpec) -> ReplayOutcome:
+        golden = self.golden()
+        plan = CrashSchedulePlan(spec)
+        outcome = self._run(plan)
+        outcome.spec = spec
+        outcome.fired = plan.fired
+        v = outcome.violations
+        if not plan.fired:
+            v.append(
+                f"fault {spec.describe()} never fired (golden saw "
+                f"{golden.hits.get(spec.site, 0)} hits at this site)"
+            )
+        dups = plan.duplicate_ivs()
+        if dups:
+            v.append(f"I5: {len(dups)} AES-GCM IVs reused within one boot")
+        if spec.kind == FLIP and plan.fired:
+            if outcome.integrity_rejections == 0:
+                v.append(
+                    "I7: a delivered bit-flip in a sealed record was "
+                    "accepted without an IntegrityError"
+                )
+        if outcome.completed:
+            err = invariants.losses_equivalent(golden.losses, outcome.losses)
+            if err:
+                v.append("I9: " + err)
+            if outcome.final_iteration != golden.final_iteration:
+                v.append(
+                    f"I9: finished at committed round "
+                    f"{outcome.final_iteration}, golden committed "
+                    f"{golden.final_iteration}"
+                )
+            if outcome.params_digest != golden.params_digest:
+                v.append(
+                    "I9: merged parameters or round roots diverged from "
+                    "the uninterrupted federation"
+                )
+        elif not v:
+            v.append("run did not complete yet no violation was recorded")
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _run(self, plan: BaseFaultPlan) -> ReplayOutcome:
+        machine = _FederatedMachine(self.config)
+        machine.session.on_note = machine.on_note
+        machine.session.on_ack = machine.on_ack
+        outcome = ReplayOutcome()
+        spec = getattr(plan, "spec", None)
+        with installed(plan):
+            while True:
+                plan.mark_boot()
+                try:
+                    self._boot(machine, outcome.violations)
+                    machine.harvest()
+                    outcome.completed = not outcome.violations
+                    break
+                except InjectedCrash:
+                    _note_fault(machine, spec, "crash")
+                    machine.harvest()
+                except InjectedEcallAbort:
+                    _note_fault(machine, spec, "ecall-abort")
+                    machine.harvest()
+                except InjectedLinkDrop:
+                    outcome.violations.append(
+                        "link drop escaped the federation's transport "
+                        "retry loops"
+                    )
+                    break
+                except IntegrityError as exc:
+                    _note_fault(machine, spec, "integrity-rejection")
+                    machine.harvest()
+                    machine.integrity_rejections += 1
+                    expected = (
+                        spec is not None
+                        and spec.kind == FLIP
+                        and machine.integrity_rejections == 1
+                    )
+                    if not expected:
+                        outcome.violations.append(
+                            "I2: sealed data failed its MAC check after "
+                            f"a {spec.kind if spec else 'golden'} fault: "
+                            f"{exc}"
+                        )
+                        break
+                    # A transient flip is fail-stop: crash and reboot.
+                except Exception as exc:  # noqa: BLE001 — I0 catch-all
+                    outcome.violations.append(
+                        f"I0: unexpected {type(exc).__name__} escaped the "
+                        f"workload: {exc}"
+                    )
+                    break
+                if outcome.violations:
+                    break
+                plan.disarm()
+                machine.power_fail()
+                outcome.reboots += 1
+                if outcome.reboots > MAX_REBOOTS:
+                    outcome.violations.append(
+                        f"machine failed to recover within {MAX_REBOOTS} "
+                        "reboots"
+                    )
+                    break
+        if machine.exclusions:
+            marks = sorted(
+                (e.round_no, e.client_id, e.reason)
+                for e in machine.exclusions
+            )
+            outcome.violations.append(
+                "I10: honest clients were excluded under a single "
+                f"injected fault: {marks}"
+            )
+        outcome.integrity_rejections = machine.integrity_rejections
+        outcome.losses = dict(machine.losses)
+        outcome.final_iteration = machine.final_round
+        outcome.stored_iteration = machine.final_round
+        outcome.params_digest = machine.params_digest
+        outcome.flight = machine.recorder.flight.snapshot()
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _boot(self, m: _FederatedMachine, violations: List[str]) -> None:
+        """One boot: attach, check I8, resume rounds, audit, finish."""
+        session = m.session
+        session.cluster.boot()
+        session.host.barrier()
+
+        # Region attach with the same I1/I4 discipline as the train
+        # workload: recover when the magic is durable, else first-format.
+        before = m.recorder.counters.get("romulus.recoveries")
+        if session.host.pm.read(0, 8) == MAGIC:
+            region = session.host.open_region()
+            err = invariants.recovery_count_delta(
+                before, m.recorder.counters.get("romulus.recoveries")
+            )
+            if err:
+                violations.append("I4: " + err)
+            err = invariants.region_idle_and_twinned(region)
+            if err:
+                violations.append("I1: " + err)
+        else:
+            if m.format_completed:
+                violations.append(
+                    "I1: a formatted region lost its magic after a crash"
+                )
+            main_size = (session.host.pm.size - HEADER_SIZE) // 2
+            region = session.host.format_region(main_size)
+            m.format_completed = True
+
+        coordinator = session.boot(region=region)
+        committed = coordinator.ledger.committed_round()
+        err = invariants.committed_round_monotone(m.acked_round, committed)
+        if err:
+            violations.append("I8: " + err)
+            return
+
+        for round_no in range(committed + 1, self.rounds + 1):
+            session.host.barrier()
+            # A crash after note-but-before-commit re-runs the round; it
+            # must reproduce the exact root the interrupted attempt saw.
+            noted_root = m.roots.get(round_no)
+            result = coordinator.run_round(round_no)
+            if noted_root is not None and noted_root != result.root:
+                violations.append(
+                    f"I9: round {round_no} re-committed a different "
+                    "Merkle root after recovery"
+                )
+
+        # Every participant audits its inclusion for every committed
+        # round — proofs are rebuilt from the durable leaf blobs, so
+        # this also covers rounds committed by earlier boots.
+        for round_no in range(1, self.rounds + 1):
+            blob_root = coordinator.ledger.root_of(round_no)
+            if blob_root is None:
+                violations.append(
+                    f"I8: round {round_no} missing from the ledger after "
+                    "the federation finished"
+                )
+                continue
+            noted = m.roots.get(round_no)
+            if noted is not None and noted != blob_root:
+                violations.append(
+                    f"I9: durable root of round {round_no} differs from "
+                    "the root observed at commit time"
+                )
+            for cid in sorted(session.clients):
+                found = coordinator.proof_for(round_no, cid)
+                if found is None:
+                    violations.append(
+                        f"I10: no inclusion proof for client {cid} in "
+                        f"committed round {round_no}"
+                    )
+                    continue
+                payload, proof = found
+                if not coordinator.audit(round_no, cid, payload, proof):
+                    violations.append(
+                        f"I10: inclusion proof for client {cid} round "
+                        f"{round_no} failed verification against the "
+                        "durable root"
+                    )
+
+        m.final_round = coordinator.ledger.committed_round()
+        digest = hashlib.sha256()
+        digest.update(np.ascontiguousarray(coordinator.params).tobytes())
+        for round_no in range(1, m.final_round + 1):
+            digest.update(coordinator.ledger.root_of(round_no) or b"")
+        m.params_digest = digest.hexdigest()
+
+
 def make_workload(name: str, **kwargs):
     """Workload factory used by the explorer and the CLI."""
     table = {
         "train": TrainWorkload,
         "link": LinkWorkload,
         "serve": ServeWorkload,
+        "federated": FederatedWorkload,
     }
     try:
         return table[name](**kwargs)

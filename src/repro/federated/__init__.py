@@ -1,0 +1,40 @@
+"""Federated secure training on the simulated cluster substrate.
+
+N client :class:`~repro.cluster.host.Host`\\ s each run an attested
+enclave, train locally on disjoint synthetic-MNIST shards, and seal
+weight deltas to the aggregation enclave over mux sessions.  The
+aggregator FedAvg-merges the deltas, Merkle-commits every round's
+sealed updates into the PM mirror (one Romulus transaction per round,
+executed *before* the round is acknowledged), and serves inclusion
+proofs so any client can audit its own contribution.
+
+Module map (trust split mirrors ``repro.analysis.tcb``):
+
+========================  =====================================================
+``merkle``      (trusted)  domain-separated binary Merkle tree + proof checker
+``aggregate``   (trusted)  deterministic pairwise-tree FedAvg over flat deltas
+``ledger``      (trusted)  per-round commitment records in the Romulus region
+``shards``    (untrusted)  fixed-capacity synthetic-MNIST shard pool
+``client``    (untrusted)  per-host training client (plus byzantine knobs)
+``coordinator`` (untrusted) round driver: collect, exclude, merge, commit, ack
+``session``   (untrusted)  durable federation identity across reboots
+========================  =====================================================
+"""
+
+from repro.federated.aggregate import fedavg, flatten_params
+from repro.federated.coordinator import FederatedCoordinator, RoundResult
+from repro.federated.ledger import FederatedLedger
+from repro.federated.merkle import MerkleTree, verify_proof
+from repro.federated.session import FederatedSession, FederationConfig
+
+__all__ = [
+    "FederatedCoordinator",
+    "FederatedLedger",
+    "FederatedSession",
+    "FederationConfig",
+    "MerkleTree",
+    "RoundResult",
+    "fedavg",
+    "flatten_params",
+    "verify_proof",
+]

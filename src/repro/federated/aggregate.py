@@ -1,0 +1,89 @@
+"""Deterministic FedAvg over flattened float32 weight deltas.
+
+Floating-point addition is not associative, so a naive ``sum()`` over
+deltas makes the merged round depend on network arrival order.  The
+aggregation enclave instead:
+
+1. orders the accepted deltas by **ascending client id** (the same
+   canonical order the Merkle commitment uses), then
+2. reduces them with a fixed **pairwise tree**: neighbours are summed,
+   then neighbouring partial sums, and so on — ``((d0+d1)+(d2+d3))``
+   for four clients, the odd tail carried up unchanged.
+
+The reduction shape is a pure function of the participating *set*, so
+FedAvg is byte-identical under any client permutation or any
+quorum-satisfying arrival order of the same set — the property
+``tests/test_federated.py`` proves with Hypothesis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+DTYPE = np.float32
+
+
+def flatten_params(network) -> np.ndarray:
+    """Concatenate a network's parameter buffers into one float32 vector.
+
+    Buffer order follows ``parameter_buffers()`` (layer index, then the
+    layer's own declared order), which is deterministic for a fixed
+    architecture — both ends of the federation rely on that.
+    """
+    parts = [
+        np.asarray(array, dtype=DTYPE).reshape(-1)
+        for _, (_, array) in network.parameter_buffers()
+    ]
+    if not parts:
+        return np.zeros(0, dtype=DTYPE)
+    return np.concatenate(parts)
+
+
+def assign_params(network, flat: np.ndarray) -> None:
+    """Write a flat vector produced by :func:`flatten_params` back."""
+    offset = 0
+    for _, (name, array) in network.parameter_buffers():
+        size = array.size
+        chunk = flat[offset : offset + size]
+        if chunk.size != size:
+            raise ValueError(
+                f"flat vector too short for buffer {name!r} "
+                f"(need {size}, have {chunk.size})"
+            )
+        array[...] = np.asarray(chunk, dtype=array.dtype).reshape(array.shape)
+        offset += size
+    if offset != flat.size:
+        raise ValueError(
+            f"flat vector has {flat.size - offset} trailing values "
+            f"beyond the network's {offset} parameters"
+        )
+
+
+def pairwise_sum(vectors: List[np.ndarray]) -> np.ndarray:
+    """Fixed-shape pairwise-tree sum (see module docstring)."""
+    if not vectors:
+        raise ValueError("pairwise_sum needs at least one vector")
+    level = [np.asarray(v, dtype=DTYPE) for v in vectors]
+    while len(level) > 1:
+        nxt = [level[i] + level[i + 1] for i in range(0, len(level) - 1, 2)]
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def fedavg(deltas_by_client: Dict[int, np.ndarray]) -> Tuple[np.ndarray, List[int]]:
+    """Average the accepted deltas in canonical (ascending-id) order.
+
+    Returns the float32 mean delta plus the participating ids in the
+    order they were reduced.  Division happens once, after the tree
+    sum, by the float32 participant count — matching what an honest
+    reference run over the same subset computes bit-for-bit.
+    """
+    if not deltas_by_client:
+        raise ValueError("fedavg needs at least one accepted delta")
+    order = sorted(deltas_by_client)
+    total = pairwise_sum([deltas_by_client[cid] for cid in order])
+    return (total / DTYPE(len(order))).astype(DTYPE), order

@@ -1,0 +1,45 @@
+"""Fixed-capacity synthetic-MNIST shard pool for federated clients.
+
+The pool always materialises ``POOL_CAPACITY`` disjoint shards from one
+seeded dataset, independent of how many clients actually federate.
+That makes shard contents a function of ``(seed, client_id)`` alone:
+an honest-subset reference run (the same federation minus one excluded
+client) sees byte-identical shards for every surviving client, which is
+what lets the byzantine tests demand byte-for-byte equality between
+"tamperer excluded" and "tamperer never joined".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.mnist import synthetic_mnist
+
+#: Shards carved out of the dataset regardless of federation size.
+POOL_CAPACITY = 8
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One client's private training slice."""
+
+    client_id: int
+    x: np.ndarray  # (rows, 1, 28, 28) float32
+    y: np.ndarray  # (rows, 10) one-hot float32
+
+
+def make_shards(seed: int, rows_per_client: int) -> dict:
+    """Build the full ``{client_id: Shard}`` pool for a federation seed."""
+    total = POOL_CAPACITY * rows_per_client
+    images, labels, _, _ = synthetic_mnist(n_train=total, n_test=1, seed=seed)
+    x = np.asarray(images, dtype=np.float32).reshape(total, 1, 28, 28)
+    y = np.zeros((total, 10), dtype=np.float32)
+    y[np.arange(total), np.asarray(labels).reshape(-1).astype(np.int64)] = 1.0
+    shards = {}
+    for cid in range(POOL_CAPACITY):
+        lo = cid * rows_per_client
+        hi = lo + rows_per_client
+        shards[cid] = Shard(cid, x[lo:hi].copy(), y[lo:hi].copy())
+    return shards

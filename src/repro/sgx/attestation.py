@@ -359,3 +359,45 @@ def establish_mux_session(
         session_id, _mux_session_key(shared_enclave, session_id)
     )
     return owner_session, enclave_session
+
+
+def establish_mutual_session(
+    client_enclave: Enclave,
+    aggregator_enclave: Enclave,
+    quoting_enclave: QuotingEnclave,
+    expected_client_measurement: bytes,
+    expected_aggregator_measurement: bytes,
+    rand_client: RandomSource,
+    rand_aggregator: RandomSource,
+    session_id: int,
+) -> Tuple[InferenceSession, InferenceSession]:
+    """Mutually attested session between two enclaves (federated setup).
+
+    Unlike :func:`establish_mux_session`, where only the owner checks a
+    quote, here *both* parties are enclaves: the aggregator first
+    demands a quote from the client enclave and checks it against the
+    expected client build (a rogue client never gets a channel at all),
+    then the standard quote-verified DH exchange binds the session to
+    the aggregator's measurement for the client.  Returns
+    ``(client_session, aggregator_session)``.
+    """
+    client_quote = quoting_enclave.quote(
+        client_enclave,
+        hashlib.sha256(
+            b"fed-client|" + session_id.to_bytes(8, "big")
+        ).digest(),
+    )
+    if not quoting_enclave.verify(client_quote):
+        raise AttestationError("client quote signature verification failed")
+    if client_quote.measurement != expected_client_measurement:
+        raise AttestationError(
+            "client enclave measurement does not match the expected build"
+        )
+    return establish_mux_session(
+        aggregator_enclave,
+        quoting_enclave,
+        expected_measurement=expected_aggregator_measurement,
+        rand_enclave=rand_aggregator,
+        rand_owner=rand_client,
+        session_id=session_id,
+    )

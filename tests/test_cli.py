@@ -62,6 +62,24 @@ class TestCommands:
         assert main(["tcb"]) == 0
         assert "reduction" in capsys.readouterr().out
 
+    def test_fed(self, capsys, tmp_path):
+        out_path = tmp_path / "fed.json"
+        rc = main(
+            ["fed", "--clients", "3", "--rounds", "2",
+             "--out", str(out_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "federated rounds: 2/2 committed" in out
+        import json
+
+        payload = json.loads(out_path.read_text())
+        assert payload["ok"] is True
+        assert len(payload["rounds"]) == 2
+        assert all(
+            len(r["merkle_root"]) == 64 for r in payload["rounds"]
+        )
+
     def test_train(self, capsys):
         assert main(["train", "--iterations", "5", "--rows", "128"]) == 0
         out = capsys.readouterr().out

@@ -40,7 +40,8 @@ class TestRegistry:
         for name, site in SITES.items():
             assert site.name == name
             assert site.layer in ("hw", "romulus", "sgx", "crypto",
-                                  "distributed", "serving", "cluster")
+                                  "distributed", "serving", "cluster",
+                                  "federated")
             assert site.api in ("check", "mutate")
             assert site.kinds, name
             for kind in site.kinds:
@@ -48,7 +49,7 @@ class TestRegistry:
 
     def test_registry_covers_every_layer(self):
         for layer in ("hw", "romulus", "sgx", "crypto", "distributed",
-                      "serving", "cluster"):
+                      "serving", "cluster", "federated"):
             assert sites_for_layer(layer), layer
 
     def test_crashable_sites_nonempty_and_consistent(self):

@@ -77,7 +77,7 @@ class TestReplaySmoke:
 
 
 class TestClusterCoverage:
-    """The substrate's fault coordinates reach all three workloads."""
+    """The substrate's fault coordinates reach all four workloads."""
 
     CLUSTER_SITES = (
         "cluster.host_kill",
@@ -85,7 +85,7 @@ class TestClusterCoverage:
         "cluster.deliver",
     )
 
-    @pytest.mark.parametrize("name", ["train", "link", "serve"])
+    @pytest.mark.parametrize("name", ["train", "link", "serve", "federated"])
     def test_golden_census_includes_cluster_sites(self, name):
         golden = make_workload(name).golden()
         assert not golden.violations
@@ -122,6 +122,43 @@ class TestClusterCoverage:
         )
         assert outcome.fired
         assert outcome.reboots == 0
+        assert outcome.ok, outcome.violations
+
+
+class TestFederatedCoverage:
+    """The federated workload's own coordinates and recovery path."""
+
+    FED_SITES = ("fed.submit", "fed.aggregate", "fed.commit")
+
+    def test_golden_census_includes_fed_sites(self):
+        golden = make_workload("federated").golden()
+        assert not golden.violations
+        for site in self.FED_SITES:
+            assert golden.hits.get(site, 0) > 0, (
+                f"federated golden run never reached {site}"
+            )
+
+    def test_commit_crash_resumes_bit_identical(self):
+        outcome = make_workload("federated").replay(
+            FaultSpec("fed.commit", 1, "crash")
+        )
+        assert outcome.fired
+        assert outcome.reboots == 1
+        assert outcome.ok, outcome.violations
+
+    def test_submission_drop_is_retransmitted(self):
+        outcome = make_workload("federated").replay(
+            FaultSpec("fed.submit", 1, "drop")
+        )
+        assert outcome.fired
+        assert outcome.reboots == 0
+        assert outcome.ok, outcome.violations
+
+    def test_aggregate_crash_recovers_clean(self):
+        outcome = make_workload("federated").replay(
+            FaultSpec("fed.aggregate", 2, "crash")
+        )
+        assert outcome.fired
         assert outcome.ok, outcome.violations
 
 
@@ -178,6 +215,7 @@ class TestExhaustiveAcceptance:
             "train",
             "link",
             "serve",
+            "federated",
         }
 
     @pytest.mark.parametrize("mutant", sorted(MUTANTS))

@@ -1,0 +1,121 @@
+"""Property tests for the federated round commitment (Merkle tree).
+
+Hypothesis drives arbitrary leaf sets through the domain-separated
+Merkle tree and checks the commitment contract the coordinator relies
+on:
+
+* completeness: every leaf's inclusion proof verifies against the root;
+* binding: flipping any single byte of a proven payload, or swapping
+  any proof step's sibling digest, breaks verification;
+* canonical ordering: the root depends only on the leaf *set* — any
+  input permutation yields the same root once leaves pass through the
+  canonical ascending-client-id ordering ``from_items`` applies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.federated.merkle import (
+    MerkleTree,
+    ProofStep,
+    leaf_hash,
+    node_hash,
+    verify_proof,
+)
+
+#: Leaf payloads: non-empty bytes, unique within one tree (duplicate
+#: leaves are legal but make "mutate one leaf" ambiguous to state).
+leaf_sets = st.lists(
+    st.binary(min_size=1, max_size=64), min_size=1, max_size=24, unique=True
+)
+
+
+class TestProofCompleteness:
+    @given(leaf_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_every_leaf_proves_inclusion(self, leaves):
+        tree = MerkleTree(leaves)
+        for i, payload in enumerate(leaves):
+            assert verify_proof(payload, tree.proof(i), tree.root)
+
+    def test_single_leaf_tree_has_empty_proof(self):
+        tree = MerkleTree([b"only"])
+        assert tree.proof(0) == ()
+        assert tree.root == leaf_hash(b"only")
+
+    def test_proof_index_out_of_range(self):
+        tree = MerkleTree([b"a", b"b"])
+        with pytest.raises(IndexError):
+            tree.proof(2)
+
+
+class TestProofBinding:
+    @given(
+        leaf_sets,
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_single_byte_mutation_fails(self, leaves, data):
+        tree = MerkleTree(leaves)
+        index = data.draw(st.integers(0, len(leaves) - 1), label="leaf")
+        payload = leaves[index]
+        pos = data.draw(st.integers(0, len(payload) - 1), label="byte")
+        bit = data.draw(st.integers(0, 7), label="bit")
+        mutated = bytearray(payload)
+        mutated[pos] ^= 1 << bit
+        assert not verify_proof(bytes(mutated), tree.proof(index), tree.root)
+
+    @given(leaf_sets, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_proof_path_swap_fails(self, leaves, data):
+        """Replacing any proof step's digest breaks verification."""
+        tree = MerkleTree(leaves)
+        index = data.draw(st.integers(0, len(leaves) - 1), label="leaf")
+        proof = tree.proof(index)
+        if not proof:  # single-leaf tree: nothing to swap
+            return
+        step_no = data.draw(st.integers(0, len(proof) - 1), label="step")
+        forged = hashlib.sha256(b"forged" + proof[step_no].digest).digest()
+        swapped = list(proof)
+        swapped[step_no] = ProofStep(proof[step_no].side, forged)
+        assert not verify_proof(leaves[index], tuple(swapped), tree.root)
+
+    def test_leaf_node_domain_separation(self):
+        """A node digest replayed as a leaf payload cannot collide: the
+        \\x00/\\x01 prefixes keep the two hash domains disjoint."""
+        left, right = leaf_hash(b"a"), leaf_hash(b"b")
+        inner = node_hash(left, right)
+        assert leaf_hash(left + right) != inner
+
+
+class TestCanonicalOrdering:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1 << 32),
+                st.binary(min_size=1, max_size=32),
+            ),
+            min_size=1,
+            max_size=16,
+            unique_by=lambda kv: kv[0],
+        ),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_root_is_permutation_invariant(self, items, rng):
+        tree, ordered = MerkleTree.from_items(dict(items))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        tree2, ordered2 = MerkleTree.from_items(dict(shuffled))
+        assert tree.root == tree2.root
+        assert ordered == ordered2 == sorted(cid for cid, _ in items)
+
+    def test_order_sensitivity_without_canonicalization(self):
+        """The raw tree IS order-sensitive — canonical ordering is what
+        from_items adds, not a property of the hash."""
+        assert MerkleTree([b"a", b"b"]).root != MerkleTree([b"b", b"a"]).root
